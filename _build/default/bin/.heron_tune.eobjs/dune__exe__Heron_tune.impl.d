@@ -1,0 +1,1 @@
+bin/heron_tune.ml: Arg Cmd Cmdliner Heron Heron_dla Heron_sched Heron_tensor Printf Term

@@ -1,0 +1,101 @@
+(* Command-line harness regenerating every table and figure of the paper's
+   evaluation. Each subcommand prints the corresponding rows/series. *)
+
+open Cmdliner
+module E = Heron_experiments
+
+let budget_arg default =
+  Arg.(value & opt int default & info [ "trials"; "t" ] ~docv:"N"
+         ~doc:"Measurement trials per tuning run (the paper uses 2000).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let samples_arg =
+  Arg.(value & opt int 300 & info [ "samples" ] ~docv:"N" ~doc:"Space samples (fig11).")
+
+let print s = print_string s
+
+let no_arg_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> print (f ())) $ const ())
+
+let budgeted_cmd name doc default f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun budget seed -> print (f ~budget ~seed ())) $ budget_arg default $ seed_arg)
+
+let fig11_cmd =
+  Cmd.v (Cmd.info "fig11" ~doc:"Search-space quality heat maps (Heron vs AutoTVM).")
+    Term.(
+      const (fun samples seed -> print (E.Exp_space.fig11 ~samples ~seed ()))
+      $ samples_arg $ seed_arg)
+
+let all_cmd =
+  let run budget seed =
+    print (E.Exp_space.table4 ());
+    print "\n";
+    print (E.Exp_space.table5 ());
+    print "\n";
+    print (E.Exp_search.fig2 ~budget:(min budget 400) ~seed ());
+    print "\n";
+    print (E.Exp_ops.table9 ());
+    print "\n";
+    print (E.Exp_ops.fig6 ~budget ~seed ());
+    print "\n";
+    print (E.Exp_ops.fig7 ~budget ~seed ());
+    print "\n";
+    print (E.Exp_ops.fig8 ~budget ~seed ());
+    print "\n";
+    print (E.Exp_ops.fig9 ~budget ~seed ());
+    print "\n";
+    print (E.Exp_networks.fig10 ~budget:(min budget 48) ~seed ());
+    print "\n";
+    print (E.Exp_space.fig11 ~seed ());
+    print "\n";
+    print (E.Exp_search.fig12 ~budget:(min budget 400) ~seed ());
+    print "\n";
+    print (E.Exp_search.fig13 ~budget:(min budget 200) ~seed ());
+    print "\n";
+    print (E.Exp_time.table10 ~budget:(min budget 120) ~seed ());
+    print "\n";
+    print (E.Exp_time.fig14 ~budget:(min budget 120) ~seed ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (long).")
+    Term.(const run $ budget_arg 80 $ seed_arg)
+
+let cmds =
+  [
+    no_arg_cmd "table4" "Variable-category breakdown for GEMM (Table 4)." E.Exp_space.table4;
+    no_arg_cmd "table5" "Variables/constraints per operator (Table 5)." E.Exp_space.table5;
+    no_arg_cmd "table9" "Evaluated shape configurations (Table 9)." E.Exp_ops.table9;
+    budgeted_cmd "fig2" "RAND vs SA vs GA exploration traces (Figure 2)." 400
+      (fun ~budget ~seed () -> E.Exp_search.fig2 ~budget ~seed ());
+    budgeted_cmd "fig6" "Operator performance on V100 (Figure 6)." 80
+      (fun ~budget ~seed () -> E.Exp_ops.fig6 ~budget ~seed ());
+    budgeted_cmd "fig7" "T4/A100 absolute performance (Figure 7)." 80
+      (fun ~budget ~seed () -> E.Exp_ops.fig7 ~budget ~seed ());
+    budgeted_cmd "fig8" "DL Boost operator performance (Figure 8)." 80
+      (fun ~budget ~seed () -> E.Exp_ops.fig8 ~budget ~seed ());
+    budgeted_cmd "fig9" "VTA operator performance (Figure 9)." 80
+      (fun ~budget ~seed () -> E.Exp_ops.fig9 ~budget ~seed ());
+    budgeted_cmd "fig10" "Network performance (Figure 10)." 48
+      (fun ~budget ~seed () -> E.Exp_networks.fig10 ~budget ~seed ());
+    fig11_cmd;
+    budgeted_cmd "fig12" "CGA vs SA/GA/RAND traces (Figure 12)." 400
+      (fun ~budget ~seed () -> E.Exp_search.fig12 ~budget ~seed ());
+    budgeted_cmd "fig13" "CGA vs constraint-handling GAs (Figure 13)." 200
+      (fun ~budget ~seed () -> E.Exp_search.fig13 ~budget ~seed ());
+    budgeted_cmd "table10" "Compilation time comparison (Table 10)." 120
+      (fun ~budget ~seed () -> E.Exp_time.table10 ~budget ~seed ());
+    budgeted_cmd "fig14" "Heron compile-time breakdown (Figure 14)." 120
+      (fun ~budget ~seed () -> E.Exp_time.fig14 ~budget ~seed ());
+    budgeted_cmd "ablation" "CGA knob + propagation ablations (DESIGN.md)." 200
+      (fun ~budget ~seed () ->
+        E.Exp_ablation.cga_knobs ~budget ~seed () ^ "\n" ^ E.Exp_ablation.propagation ~seed ());
+    all_cmd;
+  ]
+
+let () =
+  let info =
+    Cmd.info "experiments" ~version:"1.0"
+      ~doc:"Regenerate the tables and figures of the Heron paper (ASPLOS 2023)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,70 @@
+(* Tune a single operator on a chosen DLA from the command line and print
+   the resulting schedule, latency and search statistics. *)
+
+open Cmdliner
+module Op = Heron_tensor.Op
+module D = Heron_dla.Descriptor
+
+let desc_of_string = function
+  | "v100" -> Ok D.v100
+  | "t4" -> Ok D.t4
+  | "a100" -> Ok D.a100
+  | "dlboost" -> Ok D.dlboost
+  | "vta" -> Ok D.vta
+  | "tpu" -> Ok D.tpu
+  | "cambricon" -> Ok D.cambricon
+  | s -> Error (Printf.sprintf "unknown DLA %S (v100|t4|a100|dlboost|vta|tpu|cambricon)" s)
+
+let op_of ~kind ~dims ~dt =
+  let dt = match dt with "i8" -> Op.I8 | "f32" -> Op.F32 | _ -> Op.F16 in
+  match (kind, dims) with
+  | "gemm", [ m; n; k ] -> Ok (Op.gemm ~dt ~m ~n ~k ())
+  | "bmm", [ b; m; n; k ] -> Ok (Op.bmm ~dt ~b ~m ~n ~k ())
+  | "gemv", [ m; k ] -> Ok (Op.gemv ~dt ~m ~k ())
+  | "c1d", [ n; ci; l; co; kl; stride; pad ] ->
+      Ok (Op.conv1d ~dt ~n ~ci ~l ~co ~kl ~stride ~pad ())
+  | "c2d", [ n; ci; h; w; co; kh; kw; stride; pad ] ->
+      Ok (Op.conv2d ~dt ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad ())
+  | "scan", [ b; l ] -> Ok (Op.scan ~b ~l ())
+  | _ ->
+      Error
+        "usage: gemm M N K | bmm B M N K | gemv M K | c1d N CI L CO KL S P | \
+         c2d N CI H W CO KH KW S P | scan B L"
+
+let run dla kind dims dt trials seed =
+  match desc_of_string dla with
+  | Error e -> prerr_endline e; 2
+  | Ok desc -> (
+      match op_of ~kind ~dims ~dt with
+      | Error e -> prerr_endline e; 2
+      | Ok op ->
+          Printf.printf "tuning %s on %s (%d trials, seed %d)\n%!" (Op.to_string op)
+            desc.D.dname trials seed;
+          let tuned = Heron.Pipeline.tune ~budget:trials ~seed desc op in
+          Printf.printf "space: %s\n"
+            (Heron.Stats.to_string (Heron.Stats.of_problem tuned.gen.problem));
+          (match Heron.Pipeline.best_latency_us tuned with
+          | None -> print_endline "no valid program found"
+          | Some l ->
+              Printf.printf "best latency: %.2f us (%.2f TFLOPS)\n" l
+                (Heron_dla.Perf_model.achieved_tflops op l);
+              match Heron.Pipeline.best_program tuned with
+              | None -> ()
+              | Some prog ->
+                  print_string (Heron_sched.Concrete.to_string prog);
+                  print_newline ();
+                  print_string (Heron_dla.Explain.report desc prog);
+                  print_newline ();
+                  print_string (Heron.Codegen.emit desc prog));
+          0)
+
+let () =
+  let dla = Arg.(value & opt string "v100" & info [ "dla" ] ~docv:"DLA") in
+  let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"OP") in
+  let dims = Arg.(value & pos_right 0 int [] & info [] ~docv:"DIMS") in
+  let dt = Arg.(value & opt string "f16" & info [ "dtype" ] ~docv:"DT") in
+  let trials = Arg.(value & opt int 200 & info [ "trials"; "t" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let term = Term.(const run $ dla $ kind $ dims $ dt $ trials $ seed) in
+  let info = Cmd.info "heron_tune" ~doc:"Tune one operator with Heron on a simulated DLA." in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/build_library.ml: Array Filename Heron Heron_dla Heron_tensor List Printf Sys

@@ -1,0 +1,1 @@
+examples/cga_playground.ml: Heron_csp Heron_search Heron_util List Printf

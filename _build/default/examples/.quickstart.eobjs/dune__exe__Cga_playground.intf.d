@@ -1,0 +1,1 @@
+examples/cga_playground.mli:

@@ -1,0 +1,1 @@
+examples/custom_dla.ml: Heron Heron_csp Heron_dla Heron_sched Heron_tensor Heron_util List Printf

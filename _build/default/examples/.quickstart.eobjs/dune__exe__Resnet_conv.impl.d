@@ -1,0 +1,1 @@
+examples/resnet_conv.ml: Array Heron Heron_dla Heron_nets Heron_tensor List Printf Sys

@@ -1,0 +1,44 @@
+(* End-to-end library generation (the paper's title deliverable): tune a
+   set of operators for a DLA, persist the winning schedules, reload the
+   library, and emit one kernel's pseudo-code.
+
+   Run with: dune exec examples/build_library.exe -- [trials] *)
+
+module Op = Heron_tensor.Op
+module D = Heron_dla.Descriptor
+module Library = Heron.Library
+module Codegen = Heron.Codegen
+
+let () =
+  let trials = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 64 in
+  let desc = D.v100 in
+  let ops =
+    [
+      Op.gemm ~m:1024 ~n:1024 ~k:1024 ();
+      Op.gemm ~m:32 ~n:1000 ~k:4096 ();
+      Op.bmm ~b:192 ~m:128 ~n:128 ~k:64 ();
+      Op.conv2d ~n:16 ~ci:64 ~h:56 ~w:56 ~co:64 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ();
+    ]
+  in
+  Printf.printf "building a %d-kernel library for %s (%d trials each)...\n%!"
+    (List.length ops) desc.D.dname trials;
+  let lib = Library.build ~budget:trials ~seed:42 desc ops in
+  List.iter
+    (fun (e : Library.entry) ->
+      Printf.printf "  %-40s %10.1f us\n" e.Library.op_key e.Library.latency_us)
+    (Library.entries lib);
+
+  let path = Filename.temp_file "heron_v100" ".lib" in
+  Library.save lib path;
+  Printf.printf "\nsaved to %s (%d entries)\n" path (Library.size lib);
+
+  (* A downstream user reloads the library and re-materializes a kernel. *)
+  let lib' = Library.load path in
+  let op = List.hd ops in
+  (match Library.lookup lib' desc op with
+  | Some entry ->
+      let prog = Library.program_of entry desc op in
+      print_endline "\nre-materialized kernel for the first operator:\n";
+      print_string (Codegen.emit desc prog)
+  | None -> print_endline "lookup failed");
+  Sys.remove path

@@ -1,0 +1,60 @@
+(* Quickstart: generate Heron's automatically constrained search space for
+   a GEMM on the simulated V100 TensorCore, inspect it, explore it with the
+   constraint-based genetic algorithm, and compare the result against the
+   vendor-library proxy.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Op = Heron_tensor.Op
+module D = Heron_dla.Descriptor
+module Solver = Heron_csp.Solver
+module Concrete = Heron_sched.Concrete
+module Perf = Heron_dla.Perf_model
+
+let () =
+  let op = Op.gemm ~m:1024 ~n:1024 ~k:1024 () in
+  let desc = D.v100 in
+  Printf.printf "operator: %s\ntarget:   %s\n\n" (Op.to_string op) (D.to_string desc);
+
+  (* 1. Constrained space generation (schedule template + CSP). *)
+  let gen = Heron.Generator.generate desc op in
+  Printf.printf "generated space: %s\n"
+    (Heron.Stats.to_string (Heron.Stats.of_problem gen.Heron.Generator.problem));
+  Printf.printf "tensorized: %b\n\n" gen.Heron.Generator.tensorized;
+
+  (* 2. Every random sample of the space is a valid program. *)
+  let rng = Heron_util.Rng.create 1 in
+  let samples = Solver.rand_sat rng gen.Heron.Generator.problem 5 in
+  print_endline "five random valid programs from the constrained space:";
+  List.iter
+    (fun a ->
+      let prog = Concrete.instantiate gen.Heron.Generator.template a in
+      match Heron_dla.Validate.check desc prog with
+      | Ok () ->
+          Printf.printf "  %8.1f us (%.1f TFLOPS)\n" (Perf.latency_us desc prog)
+            (Perf.achieved_tflops op (Perf.latency_us desc prog))
+      | Error v -> Printf.printf "  INVALID: %s\n" (Heron_dla.Violation.to_string v))
+    samples;
+
+  (* 3. Explore with CGA. *)
+  print_endline "\ntuning with CGA (200 trials)...";
+  let tuned = Heron.Pipeline.tune ~budget:200 ~seed:42 desc op in
+  (match Heron.Pipeline.best_latency_us tuned with
+  | Some l ->
+      Printf.printf "Heron best: %.1f us (%.2f TFLOPS)\n" l (Perf.achieved_tflops op l)
+  | None -> print_endline "no valid program found");
+
+  (* 4. Compare to the hand-tuned library proxy. *)
+  (match
+     ( Heron.Hand_tuned.latency_us ~library:Heron.Hand_tuned.Cublas desc op,
+       Heron.Pipeline.best_latency_us tuned )
+   with
+  | Some vendor, Some heron ->
+      Printf.printf "cuBLAS proxy: %.1f us  ->  Heron speedup %.2fx\n" vendor
+        (vendor /. heron)
+  | _ -> ());
+
+  (* 5. Show the winning schedule. *)
+  match Heron.Pipeline.best_program tuned with
+  | Some prog -> print_endline "\nbest schedule:"; print_string (Concrete.to_string prog)
+  | None -> ()

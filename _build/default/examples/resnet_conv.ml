@@ -1,0 +1,39 @@
+(* Domain example: generate a TensorCore library for the convolution layers
+   of ResNet-50 (batch 16) and compare per-layer against the cuDNN proxy —
+   the workload the paper's introduction motivates.
+
+   Run with: dune exec examples/resnet_conv.exe -- [trials] *)
+
+module Op = Heron_tensor.Op
+module D = Heron_dla.Descriptor
+module Models = Heron_nets.Models
+module Perf = Heron_dla.Perf_model
+
+let () =
+  let trials = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 64 in
+  let desc = D.v100 in
+  Printf.printf "ResNet-50 convolution layers on %s (%d trials per layer)\n\n"
+    desc.D.dname trials;
+  Printf.printf "%-34s %12s %12s %9s\n" "layer" "Heron (us)" "cuDNN (us)" "speedup";
+  let total_heron = ref 0.0 and total_cudnn = ref 0.0 in
+  List.iter
+    (fun (count, (op : Op.t)) ->
+      if op.Op.cname = "c2d" then begin
+        let tuned = Heron.Pipeline.tune ~budget:trials ~seed:42 desc op in
+        let heron = Heron.Pipeline.best_latency_us tuned in
+        let cudnn = Heron.Hand_tuned.latency_us ~library:Heron.Hand_tuned.Cudnn desc op in
+        let label =
+          let d n = (Op.find_iter op n).Op.extent in
+          Printf.sprintf "%dx c2d ci%d h%d co%d k%d" count (d "rc")
+            (d "oh") (d "co") (d "rh")
+        in
+        match (heron, cudnn) with
+        | Some h, Some c ->
+            total_heron := !total_heron +. (float_of_int count *. h);
+            total_cudnn := !total_cudnn +. (float_of_int count *. c);
+            Printf.printf "%-34s %12.1f %12.1f %8.2fx\n%!" label h c (c /. h)
+        | _ -> Printf.printf "%-34s %12s\n" label "infeasible"
+      end)
+    Models.resnet50.Models.layers;
+  Printf.printf "\nnetwork conv total: Heron %.2f ms, cuDNN %.2f ms (%.2fx)\n"
+    (!total_heron /. 1000.0) (!total_cudnn /. 1000.0) (!total_cudnn /. !total_heron)

@@ -1,0 +1,1 @@
+lib/baselines/methods.ml: Heron Heron_csp Heron_dla Heron_sched Heron_search Heron_tensor Heron_util List Relax String

@@ -1,0 +1,1 @@
+lib/baselines/methods.mli: Heron Heron_dla Heron_search Heron_tensor

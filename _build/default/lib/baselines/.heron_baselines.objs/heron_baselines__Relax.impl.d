@@ -1,0 +1,1 @@
+lib/baselines/relax.ml: Array Heron_csp List String

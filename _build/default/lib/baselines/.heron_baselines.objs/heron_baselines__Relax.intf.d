@@ -1,0 +1,1 @@
+lib/baselines/relax.mli: Heron_csp

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Buffer Heron_dla Heron_sched Heron_tensor List Printf String

@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Heron_dla Heron_sched

@@ -1,0 +1,1 @@
+lib/core/gen_ctx.ml: Heron_csp Heron_dla Heron_sched Heron_tensor List

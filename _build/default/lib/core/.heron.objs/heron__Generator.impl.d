@@ -1,0 +1,1 @@
+lib/core/generator.ml: Gen_ctx Heron_csp Heron_dla Heron_sched Heron_tensor Heron_util List Rules_cons Rules_sched String

@@ -1,0 +1,1 @@
+lib/core/generator.mli: Heron_csp Heron_dla Heron_sched Heron_tensor

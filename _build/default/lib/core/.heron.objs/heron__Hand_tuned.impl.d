@@ -1,0 +1,1 @@
+lib/core/hand_tuned.ml: Generator Heron_csp Heron_dla Heron_sched Heron_tensor Heron_util List

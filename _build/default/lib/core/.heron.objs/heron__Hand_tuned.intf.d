@@ -1,0 +1,1 @@
+lib/core/hand_tuned.mli: Heron_dla Heron_tensor

@@ -1,0 +1,1 @@
+lib/core/library.ml: Generator Heron_csp Heron_dla Heron_sched Heron_search Heron_tensor List Map Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/core/rules_cons.ml: Gen_ctx Hashtbl Heron_csp Heron_dla List Printf

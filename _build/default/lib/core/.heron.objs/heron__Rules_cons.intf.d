@@ -1,0 +1,1 @@
+lib/core/rules_cons.mli: Gen_ctx

@@ -1,0 +1,1 @@
+lib/core/rules_sched.ml: Gen_ctx Heron_csp Heron_dla Heron_sched Heron_tensor Heron_util List Printf

@@ -1,0 +1,1 @@
+lib/core/rules_sched.mli: Gen_ctx

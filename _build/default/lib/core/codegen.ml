@@ -1,0 +1,179 @@
+module Op = Heron_tensor.Op
+module Concrete = Heron_sched.Concrete
+module Template = Heron_sched.Template
+module Prim = Heron_sched.Prim
+module Descriptor = Heron_dla.Descriptor
+module Perf = Heron_dla.Perf_model
+
+let scope_qualifier (desc : Descriptor.t) scope =
+  match (desc.Descriptor.family, scope) with
+  | Descriptor.Tensorcore, "shared" -> "__shared__"
+  | Descriptor.Tensorcore, "wmma.a" -> "wmma::fragment<matrix_a>"
+  | Descriptor.Tensorcore, "wmma.b" -> "wmma::fragment<matrix_b>"
+  | Descriptor.Tensorcore, "wmma.acc" -> "wmma::fragment<accumulator>"
+  | Descriptor.Dlboost, "l1" -> "/* L1-resident */"
+  | Descriptor.Dlboost, "l2" -> "/* L2-resident */"
+  | Descriptor.Vta, "vta.inp" -> "VTA_INP_BUFF"
+  | Descriptor.Vta, "vta.wgt" -> "VTA_WGT_BUFF"
+  | Descriptor.Vta, "vta.acc" -> "VTA_ACC_BUFF"
+  | _ -> "/* " ^ scope ^ " */"
+
+let dtype_name = function
+  | Op.F16 -> "half"
+  | Op.F32 -> "float"
+  | Op.I8 -> "int8_t"
+  | Op.I32 -> "int32_t"
+
+let loop_header indent (l : Concrete.cloop) =
+  let pragma =
+    match l.Concrete.ann with
+    | Concrete.Unrolled n -> Printf.sprintf "%s#pragma unroll %d\n" indent n
+    | Concrete.Vectorized n when n > 1 ->
+        Printf.sprintf "%s/* vectorized x%d */\n" indent n
+    | _ -> ""
+  in
+  match l.Concrete.ann with
+  | Concrete.Bound ax ->
+      Printf.sprintf "%sconst int %s = %s;  // 0..%d\n" indent
+        (String.map (fun c -> if c = '.' then '_' else c) l.Concrete.name)
+        (Prim.thread_axis_to_string ax) l.Concrete.extent
+  | Concrete.Tensorized ->
+      Printf.sprintf "%s/* intrinsic dim %s = %d */\n" indent l.Concrete.name
+        l.Concrete.extent
+  | _ ->
+      Printf.sprintf "%sfor (int %s = 0; %s < %d; ++%s) {\n" indent
+        (String.map (fun c -> if c = '.' then '_' else c) l.Concrete.name)
+        (String.map (fun c -> if c = '.' then '_' else c) l.Concrete.name)
+        l.Concrete.extent
+        (String.map (fun c -> if c = '.' then '_' else c) l.Concrete.name)
+  |> fun s -> pragma ^ s
+
+let needs_close (l : Concrete.cloop) =
+  match l.Concrete.ann with
+  | Concrete.Bound _ | Concrete.Tensorized -> false
+  | _ -> true
+
+let intrinsic_call (desc : Descriptor.t) prog indent =
+  match Concrete.tensorize_mnk prog with
+  | None -> indent ^ "acc += a_frag * b_frag;  // scalar fallback\n"
+  | Some (m, n, k) -> (
+      match desc.Descriptor.family with
+      | Descriptor.Tensorcore ->
+          Printf.sprintf "%swmma::mma_sync(acc, a_frag, b_frag, acc);  // %dx%dx%d\n"
+            indent m n k
+      | Descriptor.Dlboost ->
+          Printf.sprintf "%sacc = _mm512_dpbusd_epi32(acc, a_vec, b_vec);  // (%d,%d,%d)\n"
+            indent m n k
+      | Descriptor.Vta ->
+          Printf.sprintf "%svta.gemm(acc_idx, inp_idx, wgt_idx);  // (%d,%d,%d)\n" indent m
+            n k)
+
+let stage_buffers desc prog =
+  Concrete.load_stages prog
+  @ List.filter
+      (fun (s : Concrete.cstage) ->
+        s.Concrete.role = Template.Store && s.Concrete.scope <> "global")
+      prog.Concrete.stages
+  |> List.map (fun (s : Concrete.cstage) ->
+         let bytes = Concrete.footprint_bytes prog s in
+         let dt =
+           match s.Concrete.role with
+           | Template.Load tensor -> (
+               match
+                 List.find_opt (fun (t : Op.tensor) -> t.Op.tname = tensor)
+                   prog.Concrete.op.Op.inputs
+               with
+               | Some t -> t.Op.dt
+               | None -> prog.Concrete.op.Op.out.Op.dt)
+           | _ -> prog.Concrete.op.Op.out.Op.dt
+         in
+         Printf.sprintf "  %s %s %s[%d];  // %d bytes%s"
+           (scope_qualifier desc s.Concrete.scope)
+           (dtype_name dt)
+           (String.map (fun c -> if c = '.' then '_' else c) s.Concrete.name)
+           (bytes / Op.dtype_bytes dt)
+           bytes
+           (if s.Concrete.align_pad > 0 then
+              Printf.sprintf " (storage_align pad %d)" s.Concrete.align_pad
+            else ""))
+
+let launch_config desc prog =
+  let bx = Concrete.axis_extent prog Prim.Block_x in
+  let by = Concrete.axis_extent prog Prim.Block_y in
+  let warps = Concrete.axis_extent prog Prim.Thread_y in
+  let cores = Concrete.axis_extent prog Prim.Core in
+  match desc.Descriptor.family with
+  | Descriptor.Tensorcore ->
+      Printf.sprintf "kernel<<<dim3(%d, %d), dim3(32, %d)>>>  // %d blocks, %d warps each"
+        bx by warps (bx * by) warps
+  | Descriptor.Dlboost -> Printf.sprintf "#pragma omp parallel for  // %d chunks" cores
+  | Descriptor.Vta -> "vta_run(insn_queue)  // single compute core"
+
+(* Emit the body of one stage: its copy loops (load/store stages) or the
+   compute nest with the intrinsic at the innermost point, recursing into
+   stages attached at each loop level. *)
+let rec emit_stage buf desc prog depth (s : Concrete.cstage) =
+  let attached_at =
+    List.filter
+      (fun (c : Concrete.cstage) ->
+        match c.Concrete.attach with Some (p, _) -> p = s.Concrete.name | None -> false)
+      prog.Concrete.stages
+  in
+  let indent n = String.make (2 * n) ' ' in
+  let rec loops d = function
+    | [] ->
+        (match s.Concrete.role with
+        | Template.Compute ->
+            Buffer.add_string buf (intrinsic_call desc prog (indent d))
+        | Template.Load tensor ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s = %s[...];  // coalesced copy\n" (indent d)
+                 (String.map (fun c -> if c = '.' then '_' else c) s.Concrete.name)
+                 tensor)
+        | Template.Store ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s[...] = acc;  // write back\n" (indent d)
+                 prog.Concrete.op.Op.out.Op.tname));
+        d
+    | (l : Concrete.cloop) :: rest ->
+        Buffer.add_string buf (loop_header (indent d) l);
+        let d' = if needs_close l then d + 1 else d in
+        (* Stages attached after this loop nest inside it. *)
+        let idx = List.length s.Concrete.loops - List.length rest - 1 in
+        List.iter
+          (fun (c : Concrete.cstage) ->
+            match c.Concrete.attach with
+            | Some (_, at) when at = idx -> emit_stage buf desc prog d' c
+            | _ -> ())
+          attached_at;
+        let d_end = loops d' rest in
+        if needs_close l then begin
+          Buffer.add_string buf (Printf.sprintf "%s}\n" (indent d));
+          d_end - 1
+        end
+        else d_end
+  in
+  ignore (loops depth s.Concrete.loops)
+
+let emit desc prog =
+  let buf = Buffer.create 1024 in
+  let op = prog.Concrete.op in
+  Buffer.add_string buf
+    (Printf.sprintf "// generated by Heron for %s\n// operator: %s\n// launch: %s\n"
+       desc.Descriptor.dname (Op.to_string op) (launch_config desc prog));
+  let b = Perf.analyze desc prog in
+  Buffer.add_string buf
+    (Printf.sprintf "// predicted: %.1f us (utilization %.0f%%)\n"
+       b.Perf.latency_us (100.0 *. b.Perf.utilization));
+  Buffer.add_string buf "\nvoid kernel(...) {\n";
+  List.iter
+    (fun line -> Buffer.add_string buf (line ^ "\n"))
+    (stage_buffers desc prog);
+  Buffer.add_string buf "\n";
+  (* Emit from the root stages; attached stages are inlined recursively. *)
+  List.iter
+    (fun (s : Concrete.cstage) ->
+      if s.Concrete.attach = None then emit_stage buf desc prog 1 s)
+    prog.Concrete.stages;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

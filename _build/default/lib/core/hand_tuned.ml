@@ -1,0 +1,80 @@
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+module Solver = Heron_csp.Solver
+module Concrete = Heron_sched.Concrete
+module Descriptor = Heron_dla.Descriptor
+module Measure = Heron_dla.Measure
+module Rng = Heron_util.Rng
+
+type library = Cudnn | Cublas | Pytorch | Onednn
+
+let library_name = function
+  | Cudnn -> "cuDNN"
+  | Cublas -> "cuBLAS"
+  | Pytorch -> "PyTorch"
+  | Onednn -> "oneDNN"
+
+(* Preset kernel menus: preferences for the tunables; the biased CSP solve
+   snaps each preset to the nearest valid configuration for the shape. *)
+let tensorcore_presets =
+  [
+    (* 128x128 block, 64x64 warp tiles: the flagship large-GEMM kernel. *)
+    [ ("intrin_m", 16); ("intrin_n", 16); ("intrin_k", 16); ("tile_i_warp", 2);
+      ("tile_j_warp", 2); ("tile_i_tile", 4); ("tile_j_tile", 4); ("tile_r_in", 2);
+      ("vec_a", 8); ("vec_b", 8); ("vec_c", 4); ("pad_a", 8); ("pad_b", 8); ("pad_c", 8);
+      ("unroll_c", 64); ("loc_a", 0); ("loc_b", 0) ];
+    (* 64x64 block kernel. *)
+    [ ("intrin_m", 16); ("intrin_n", 16); ("intrin_k", 16); ("tile_i_warp", 2);
+      ("tile_j_warp", 2); ("tile_i_tile", 2); ("tile_j_tile", 2); ("tile_r_in", 4);
+      ("vec_a", 8); ("vec_b", 8); ("vec_c", 4); ("pad_a", 8); ("pad_b", 8); ("pad_c", 8);
+      ("unroll_c", 64); ("loc_a", 0); ("loc_b", 0) ];
+    (* Tall-and-skinny kernel: small m tile, wide n. *)
+    [ ("intrin_m", 16); ("intrin_n", 16); ("intrin_k", 16); ("tile_i_warp", 1);
+      ("tile_j_warp", 4); ("tile_i_tile", 1); ("tile_j_tile", 2); ("tile_r_in", 2);
+      ("vec_a", 8); ("vec_b", 8); ("vec_c", 4); ("pad_a", 8); ("pad_b", 8); ("pad_c", 8);
+      ("unroll_c", 16); ("loc_a", 0); ("loc_b", 0) ];
+  ]
+
+let dlboost_presets =
+  [
+    (* oneDNN-style packed kernel. *)
+    [ ("packed_layout", 1); ("tile_j_tile", 4); ("tile_r_in", 16); ("vec_b", 64);
+      ("vec_c", 16); ("unroll_c", 64); ("loc_a", 0); ("loc_b", 3); ("tile_i_tile", 4) ];
+    [ ("packed_layout", 1); ("tile_j_tile", 2); ("tile_r_in", 32); ("vec_b", 64);
+      ("vec_c", 16); ("unroll_c", 16); ("loc_a", 0); ("loc_b", 0); ("tile_i_tile", 8) ];
+  ]
+
+let vta_presets =
+  [
+    [ ("tile_i_tile", 8); ("tile_j_tile", 8); ("tile_r_in", 4); ("vec_a", 16);
+      ("vec_b", 16); ("unroll_c", 16) ];
+  ]
+
+let presets_for (desc : Descriptor.t) =
+  match desc.Descriptor.family with
+  | Descriptor.Tensorcore -> tensorcore_presets
+  | Descriptor.Dlboost -> dlboost_presets
+  | Descriptor.Vta -> vta_presets
+
+let latency_us ?(seed = 2024) ~library desc op =
+  let gen = Generator.generate ~seed desc op in
+  let measurer = Measure.create desc in
+  let rng = Rng.create seed in
+  let overhead = match library with Pytorch -> 1.08 | Cudnn | Cublas | Onednn -> 1.0 in
+  let try_preset preset =
+    let bias = Assignment.of_list preset in
+    match Solver.solve_biased ~max_fails:2000 rng gen.Generator.problem bias with
+    | None -> None
+    | Some a -> (
+        match Concrete.instantiate gen.Generator.template a with
+        | exception Invalid_argument _ -> None
+        | prog -> (
+            match Measure.run measurer prog with
+            | Ok l -> Some (l *. overhead)
+            | Error _ -> None))
+  in
+  presets_for desc
+  |> List.filter_map try_preset
+  |> function
+  | [] -> None
+  | ls -> Some (List.fold_left min infinity ls)

@@ -1,0 +1,21 @@
+(** Proxies for vendor-provided hand-tuned libraries (cuDNN, cuBLAS,
+    PyTorch kernels, oneDNN).
+
+    A hand-tuned library ships a small menu of expert-chosen kernel
+    configurations tuned for common (large, square-ish) shapes and picks
+    the best applicable one at run time. We model exactly that: a fixed set
+    of preset parameter preferences per DLA family, each decoded to the
+    nearest valid configuration and measured on the same simulator; the
+    best preset wins. The menu does not adapt to unusual shapes, which is
+    where exploration-based generation pulls ahead — as in the paper. *)
+
+module Op = Heron_tensor.Op
+module Descriptor = Heron_dla.Descriptor
+
+type library = Cudnn | Cublas | Pytorch | Onednn
+
+val library_name : library -> string
+
+val latency_us : ?seed:int -> library:library -> Descriptor.t -> Op.t -> float option
+(** Latency of the library's best preset kernel for this operator, or
+    [None] when no preset is feasible (the library refuses the shape). *)

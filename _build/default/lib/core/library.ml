@@ -1,0 +1,109 @@
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+module Concrete = Heron_sched.Concrete
+module Descriptor = Heron_dla.Descriptor
+
+type entry = {
+  op_key : string;
+  dla : string;
+  latency_us : float;
+  assignment : Assignment.t;
+}
+
+module M = Map.Make (String)
+
+type t = entry M.t
+
+let empty = M.empty
+let size = M.cardinal
+let entries t = List.map snd (M.bindings t)
+
+let op_key (op : Op.t) =
+  Printf.sprintf "%s/%s/%s" op.Op.cname
+    (Op.dtype_to_string (match op.Op.inputs with t :: _ -> t.Op.dt | [] -> op.Op.out.Op.dt))
+    (String.concat ","
+       (List.map
+          (fun (it : Op.iter) -> Printf.sprintf "%s:%d" it.Op.iname it.Op.extent)
+          op.Op.iters))
+
+let full_key desc op = op_key op ^ "@" ^ desc.Descriptor.dname
+
+let add t desc op ~latency_us assignment =
+  let key = full_key desc op in
+  let entry = { op_key = op_key op; dla = desc.Descriptor.dname; latency_us; assignment } in
+  match M.find_opt key t with
+  | Some old when old.latency_us <= latency_us -> t
+  | _ -> M.add key entry t
+
+let lookup t desc op = M.find_opt (full_key desc op) t
+
+let program_of entry desc op =
+  if entry.op_key <> op_key op then
+    invalid_arg
+      (Printf.sprintf "Library.program_of: entry is for %s, not %s" entry.op_key (op_key op));
+  let gen = Generator.generate desc op in
+  Concrete.instantiate gen.Generator.template entry.assignment
+
+let build ?(budget = 200) ?(seed = 42) desc ops =
+  List.fold_left
+    (fun lib op ->
+      let tuned = Pipeline.tune ~budget ~seed desc op in
+      match
+        ( Pipeline.best_latency_us tuned,
+          tuned.Pipeline.outcome.Heron_search.Cga.result.Heron_search.Env.best_assignment )
+      with
+      | Some latency_us, Some a -> add lib desc op ~latency_us a
+      | _ -> lib)
+    empty ops
+
+let entry_to_line e =
+  Printf.sprintf "%s|%s|%.6f|%s" e.op_key e.dla e.latency_us
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+          (Assignment.bindings e.assignment)))
+
+let entry_of_line line =
+  match String.split_on_char '|' line with
+  | [ op_key; dla; lat; bindings ] ->
+      let assignment =
+        if bindings = "" then Assignment.empty
+        else
+          String.split_on_char ',' bindings
+          |> List.map (fun kv ->
+                 match String.index_opt kv '=' with
+                 | Some i ->
+                     ( String.sub kv 0 i,
+                       int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)) )
+                 | None -> failwith ("Library.load: malformed binding " ^ kv))
+          |> Assignment.of_list
+      in
+      { op_key; dla; latency_us = float_of_string lat; assignment }
+  | _ -> failwith ("Library.load: malformed line " ^ line)
+
+let to_string t =
+  entries t |> List.map entry_to_line |> String.concat "\n"
+  |> fun body -> if body = "" then body else body ^ "\n"
+
+let save t path =
+  let oc = open_out path in
+  (try output_string oc (to_string t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line ->
+        let acc = if String.trim line = "" then acc else entry_of_line line :: acc in
+        read acc
+    | exception End_of_file -> acc
+  in
+  let items = read [] in
+  close_in ic;
+  List.fold_left
+    (fun t e -> M.add (e.op_key ^ "@" ^ e.dla) e t)
+    empty items

@@ -1,0 +1,51 @@
+(** The generated library: a persistent collection of tuned schedules, one
+    per (operator shape, DLA) — what a downstream user links against
+    instead of re-tuning.
+
+    Entries are stored in a line-oriented text format
+    ([op_key|dla|latency_us|var=value,...]) so libraries can be versioned
+    and diffed. Looking an entry up re-generates the schedule template for
+    the operator (deterministic) and instantiates it with the stored
+    assignment. *)
+
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+module Concrete = Heron_sched.Concrete
+module Descriptor = Heron_dla.Descriptor
+
+type entry = {
+  op_key : string;
+  dla : string;
+  latency_us : float;
+  assignment : Assignment.t;
+}
+
+type t
+
+val empty : t
+val size : t -> int
+val entries : t -> entry list
+
+val op_key : Op.t -> string
+(** Canonical shape+dtype key, e.g. ["gemm/f16/i:1024,j:1024,r:1024"]. *)
+
+val add : t -> Descriptor.t -> Op.t -> latency_us:float -> Assignment.t -> t
+(** Inserts (or replaces, if faster) the schedule for this operator/DLA. *)
+
+val lookup : t -> Descriptor.t -> Op.t -> entry option
+
+val program_of : entry -> Descriptor.t -> Op.t -> Concrete.t
+(** Re-materializes the stored schedule as a concrete program.
+    @raise Invalid_argument if the entry does not match the operator. *)
+
+val build :
+  ?budget:int -> ?seed:int -> Descriptor.t -> Op.t list -> t
+(** Tunes every operator and collects the winners — the paper's "library
+    generation" end product. Operators that admit no valid program are
+    skipped. *)
+
+val save : t -> string -> unit
+val load : string -> t
+(** @raise Failure on malformed files. *)
+
+val to_string : t -> string

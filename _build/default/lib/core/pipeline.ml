@@ -1,0 +1,49 @@
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+module Concrete = Heron_sched.Concrete
+module Descriptor = Heron_dla.Descriptor
+module Measure = Heron_dla.Measure
+module Perf_model = Heron_dla.Perf_model
+module Env = Heron_search.Env
+module Cga = Heron_search.Cga
+module Rng = Heron_util.Rng
+
+type tuned = {
+  gen : Generator.t;
+  outcome : Cga.outcome;
+  desc : Descriptor.t;
+  op : Op.t;
+  measurements : int;
+}
+
+let make_measure ?reps desc (gen : Generator.t) =
+  let measurer = Measure.create ?reps desc in
+  let measure a =
+    match Concrete.instantiate gen.Generator.template a with
+    | exception Invalid_argument _ -> None
+    | prog -> ( match Measure.run measurer prog with Ok l -> Some l | Error _ -> None)
+  in
+  (measure, fun () -> measurer.Measure.count)
+
+let make_env ?reps ?(seed = 42) desc gen =
+  let measure, _count = make_measure ?reps desc gen in
+  { Env.problem = gen.Generator.problem; measure; rng = Rng.create seed }
+
+let tune ?(budget = 200) ?(seed = 42) ?reps ?params desc op =
+  let gen = Generator.generate ~seed desc op in
+  let measure, count = make_measure ?reps desc gen in
+  let env = { Env.problem = gen.Generator.problem; measure; rng = Rng.create seed } in
+  let outcome = Cga.run ?params env ~budget in
+  { gen; outcome; desc; op; measurements = count () }
+
+let best_latency_us t = t.outcome.Cga.result.Env.best_latency
+
+let best_tflops t =
+  match best_latency_us t with
+  | None -> None
+  | Some l -> Some (Perf_model.achieved_tflops t.op l)
+
+let best_program t =
+  match t.outcome.Cga.result.Env.best_assignment with
+  | None -> None
+  | Some a -> Some (Concrete.instantiate t.gen.Generator.template a)

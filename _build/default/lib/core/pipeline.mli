@@ -1,0 +1,40 @@
+(** The end-to-end Heron pipeline: Space Generator -> Space Explorer (CGA)
+    -> DLA Measurer -> Cost Model. *)
+
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+module Concrete = Heron_sched.Concrete
+module Descriptor = Heron_dla.Descriptor
+module Env = Heron_search.Env
+module Cga = Heron_search.Cga
+
+type tuned = {
+  gen : Generator.t;
+  outcome : Cga.outcome;
+  desc : Descriptor.t;
+  op : Op.t;
+  measurements : int;  (** DLA measurer invocations *)
+}
+
+val make_measure :
+  ?reps:int -> Descriptor.t -> Generator.t -> (Assignment.t -> float option) * (unit -> int)
+(** The measurement closure used by every searcher: instantiate the
+    template with the assignment, validate on the DLA, simulate. The second
+    component reports how many measurements ran. *)
+
+val make_env : ?reps:int -> ?seed:int -> Descriptor.t -> Generator.t -> Env.t
+
+val tune :
+  ?budget:int ->
+  ?seed:int ->
+  ?reps:int ->
+  ?params:Cga.params ->
+  Descriptor.t ->
+  Op.t ->
+  tuned
+(** Generate the constrained space for [op] on the DLA and explore it with
+    CGA under the given measurement budget (default 200). *)
+
+val best_latency_us : tuned -> float option
+val best_tflops : tuned -> float option
+val best_program : tuned -> Concrete.t option

@@ -1,0 +1,26 @@
+module Problem = Heron_csp.Problem
+
+type counts = {
+  architectural : int;
+  loop_length : int;
+  tunable : int;
+  auxiliary : int;
+  total_vars : int;
+  total_cons : int;
+}
+
+let of_problem p =
+  let count cat = List.length (Problem.vars_of_category p cat) in
+  {
+    architectural = count Problem.Architectural;
+    loop_length = count Problem.Loop_length;
+    tunable = count Problem.Tunable;
+    auxiliary = count Problem.Auxiliary;
+    total_vars = Problem.n_vars p;
+    total_cons = Problem.n_cons p;
+  }
+
+let to_string c =
+  Printf.sprintf
+    "arch=%d loop-length=%d tunable=%d auxiliary=%d | variables=%d constraints=%d"
+    c.architectural c.loop_length c.tunable c.auxiliary c.total_vars c.total_cons

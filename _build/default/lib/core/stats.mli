@@ -1,0 +1,17 @@
+(** Variable/constraint statistics of a generated search space — the data
+    behind the paper's Tables 4 and 5. *)
+
+module Problem = Heron_csp.Problem
+
+type counts = {
+  architectural : int;
+  loop_length : int;
+  tunable : int;
+  auxiliary : int;
+  total_vars : int;
+  total_cons : int;
+}
+
+val of_problem : Problem.t -> counts
+
+val to_string : counts -> string

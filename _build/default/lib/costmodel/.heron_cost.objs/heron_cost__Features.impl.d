@@ -1,0 +1,1 @@
+lib/costmodel/features.ml: Array Heron_csp

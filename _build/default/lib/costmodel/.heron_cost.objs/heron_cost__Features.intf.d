@@ -1,0 +1,1 @@
+lib/costmodel/features.mli: Heron_csp

@@ -1,0 +1,1 @@
+lib/costmodel/gbt.ml: Array List Tree

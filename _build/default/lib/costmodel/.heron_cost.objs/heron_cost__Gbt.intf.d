@@ -1,0 +1,1 @@
+lib/costmodel/gbt.mli: Tree

@@ -1,0 +1,1 @@
+lib/costmodel/model.ml: Array Features Gbt Heron_csp List

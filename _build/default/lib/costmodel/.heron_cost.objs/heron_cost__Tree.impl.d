@@ -1,0 +1,1 @@
+lib/costmodel/tree.ml: Array List

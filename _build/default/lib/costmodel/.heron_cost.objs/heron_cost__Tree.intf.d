@@ -1,0 +1,1 @@
+lib/costmodel/tree.mli:

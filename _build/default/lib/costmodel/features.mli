@@ -1,0 +1,26 @@
+(** Feature extraction for the cost model.
+
+    Following the paper, the features of a program are the values of the
+    variables declared during constraint generation (loop lengths, memory
+    usage, vector widths, ...), which are available without compiling
+    anything. Each feature is discretized into bins derived from the
+    variable's domain, enabling fast histogram-based tree training. *)
+
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+
+type t
+
+val of_problem : ?max_bins:int -> Problem.t -> t
+
+val n_features : t -> int
+val names : t -> string array
+val n_bins : t -> int array
+(** Bin count per feature. *)
+
+val vector : t -> Assignment.t -> float array
+(** Raw feature values (unbound variables map to 0). *)
+
+val binned : t -> Assignment.t -> int array
+(** Bin index per feature: the highest bin whose boundary value does not
+    exceed the variable's value. *)

@@ -1,0 +1,42 @@
+type params = { n_trees : int; learning_rate : float; tree : Tree.params }
+
+let default_params = { n_trees = 24; learning_rate = 0.3; tree = Tree.default_params }
+
+type t = {
+  base : float;
+  trees : Tree.t list;
+  rate : float;
+  n_features : int;
+}
+
+let fit ?(params = default_params) ~n_bins xs ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Gbt.fit: empty data";
+  let base = Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
+  let preds = Array.make n base in
+  let trees = ref [] in
+  for _round = 1 to params.n_trees do
+    (* Squared loss: the negative gradient is the residual. *)
+    let residuals = Array.init n (fun i -> ys.(i) -. preds.(i)) in
+    let tree = Tree.fit ~params:params.tree ~n_bins xs residuals in
+    trees := tree :: !trees;
+    Array.iteri
+      (fun i x -> preds.(i) <- preds.(i) +. (params.learning_rate *. Tree.predict tree x))
+      xs
+  done;
+  { base; trees = List.rev !trees; rate = params.learning_rate;
+    n_features = Array.length xs.(0) }
+
+let predict t x =
+  List.fold_left (fun acc tree -> acc +. (t.rate *. Tree.predict tree x)) t.base t.trees
+
+let feature_gains t =
+  let acc = Array.make t.n_features 0.0 in
+  List.iter
+    (fun tree ->
+      let g = Tree.gains tree in
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) g)
+    t.trees;
+  acc
+
+let n_trees t = List.length t.trees

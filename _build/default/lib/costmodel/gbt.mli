@@ -1,0 +1,22 @@
+(** Gradient-boosted regression trees with squared loss — the from-scratch
+    stand-in for the XGBoost model the paper employs. *)
+
+type params = {
+  n_trees : int;
+  learning_rate : float;
+  tree : Tree.params;
+}
+
+val default_params : params
+
+type t
+
+val fit : ?params:params -> n_bins:int array -> int array array -> float array -> t
+
+val predict : t -> int array -> float
+
+val feature_gains : t -> float array
+(** Per-feature total gain across the ensemble (XGBoost-style
+    importance). *)
+
+val n_trees : t -> int

@@ -1,0 +1,64 @@
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+
+type t = {
+  features : Features.t;
+  gbt_params : Gbt.params;
+  window : int;
+  mutable data : (int array * float) list;  (* most recent first *)
+  mutable count : int;
+  mutable ensemble : Gbt.t option;
+}
+
+let create ?(gbt_params = Gbt.default_params) ?(window = 512) problem =
+  {
+    features = Features.of_problem problem;
+    gbt_params;
+    window;
+    data = [];
+    count = 0;
+    ensemble = None;
+  }
+
+let record t a score =
+  t.data <- (Features.binned t.features a, score) :: t.data;
+  t.count <- t.count + 1;
+  if t.count > t.window then begin
+    t.data <- List.filteri (fun i _ -> i < t.window) t.data;
+    t.count <- t.window
+  end
+
+let refit t =
+  if t.count >= 8 then begin
+    let xs = Array.of_list (List.map fst t.data) in
+    let ys = Array.of_list (List.map snd t.data) in
+    t.ensemble <-
+      Some (Gbt.fit ~params:t.gbt_params ~n_bins:(Features.n_bins t.features) xs ys)
+  end
+
+let trained t = t.ensemble <> None
+
+let predict t a =
+  match t.ensemble with
+  | None -> 0.0
+  | Some g -> Gbt.predict g (Features.binned t.features a)
+
+let importance t =
+  match t.ensemble with
+  | None -> []
+  | Some g ->
+      let gains = Gbt.feature_gains g in
+      let names = Features.names t.features in
+      let pairs = Array.to_list (Array.mapi (fun i n -> (n, gains.(i))) names) in
+      List.sort (fun (_, a) (_, b) -> compare b a) pairs
+
+let key_variables t k =
+  let ranked = importance t in
+  let positive = List.filter (fun (_, g) -> g > 0.0) ranked in
+  let chosen = List.filteri (fun i _ -> i < k) positive |> List.map fst in
+  if chosen <> [] then chosen
+  else
+    (* Untrained model: deterministic fallback. *)
+    Array.to_list (Features.names t.features) |> List.filteri (fun i _ -> i < k)
+
+let n_samples t = t.count

@@ -1,0 +1,33 @@
+(** The cost model of the exploration loop: maps assignments to predicted
+    fitness scores and ranks the key variables by feature importance
+    (Algorithm 3, Step 1). *)
+
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+
+type t
+
+val create : ?gbt_params:Gbt.params -> ?window:int -> Problem.t -> t
+(** [window] caps the number of most recent samples kept for training. *)
+
+val record : t -> Assignment.t -> float -> unit
+(** Stores one (assignment, fitness score) observation. *)
+
+val refit : t -> unit
+(** Retrains the ensemble on the stored observations (cheap; histogram
+    trees on at most [window] samples). No-op with fewer than 8 samples. *)
+
+val trained : t -> bool
+
+val predict : t -> Assignment.t -> float
+(** Predicted fitness; 0 when the model is not yet trained. *)
+
+val importance : t -> (string * float) list
+(** Features sorted by decreasing total gain; empty when untrained. *)
+
+val key_variables : t -> int -> string list
+(** Top-k feature names by importance, restricted to features with positive
+    gain; falls back to the lexicographically first variables when the
+    model is untrained. *)
+
+val n_samples : t -> int

@@ -1,0 +1,27 @@
+(** Histogram-based regression trees (the weak learners of the boosted
+    ensemble). Training operates on pre-binned integer features; splits
+    maximize variance reduction. *)
+
+type params = {
+  max_depth : int;
+  min_samples : int;  (** do not split nodes smaller than this *)
+  min_gain : float;  (** minimum variance reduction to accept a split *)
+}
+
+val default_params : params
+
+type t
+
+val fit : ?params:params -> n_bins:int array -> int array array -> float array -> t
+(** [fit ~n_bins xs ys] trains on samples [xs] (each an array of bin
+    indices, one per feature) with targets [ys].
+    @raise Invalid_argument on empty or mismatched data. *)
+
+val predict : t -> int array -> float
+
+val gains : t -> float array
+(** Total variance reduction contributed by each feature (indexed like the
+    feature vectors) — the raw material of feature importance. *)
+
+val depth : t -> int
+val n_nodes : t -> int

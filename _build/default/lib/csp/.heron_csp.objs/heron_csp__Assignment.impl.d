@@ -1,0 +1,1 @@
+lib/csp/assignment.ml: Int List Map String

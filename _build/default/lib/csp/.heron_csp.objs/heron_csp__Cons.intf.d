@@ -1,0 +1,1 @@
+lib/csp/cons.mli:

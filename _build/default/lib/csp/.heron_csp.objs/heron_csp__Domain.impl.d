@@ -1,0 +1,1 @@
+lib/csp/domain.ml: Array Heron_util List Printf String

@@ -1,0 +1,1 @@
+lib/csp/domain.mli: Heron_util

@@ -1,0 +1,1 @@
+lib/csp/problem.ml: Array Assignment Cons Domain Hashtbl List Printf

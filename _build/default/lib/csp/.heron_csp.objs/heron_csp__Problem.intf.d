@@ -1,0 +1,1 @@
+lib/csp/problem.mli: Assignment Cons Domain

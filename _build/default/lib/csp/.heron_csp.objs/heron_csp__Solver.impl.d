@@ -1,0 +1,1 @@
+lib/csp/solver.ml: Array Assignment Cons Domain Hashtbl Heron_util List Problem Queue

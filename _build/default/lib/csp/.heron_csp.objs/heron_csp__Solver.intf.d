@@ -1,0 +1,1 @@
+lib/csp/solver.mli: Assignment Domain Heron_util Problem

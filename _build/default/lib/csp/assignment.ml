@@ -1,0 +1,18 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let bindings = M.bindings
+let get t k = M.find k t
+let find_opt t k = M.find_opt k t
+let set t k v = M.add k v t
+let mem t k = M.mem k t
+let cardinal = M.cardinal
+let equal = M.equal Int.equal
+
+let key t =
+  bindings t |> List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) |> String.concat ";"
+
+let to_string = key

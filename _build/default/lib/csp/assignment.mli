@@ -1,0 +1,20 @@
+(** Total or partial assignments of CSP variables (the concrete
+    chromosomes of the search). *)
+
+type t
+
+val empty : t
+val of_list : (string * int) list -> t
+val bindings : t -> (string * int) list
+val get : t -> string -> int
+(** @raise Not_found when the variable is unbound. *)
+
+val find_opt : t -> string -> int option
+val set : t -> string -> int -> t
+val mem : t -> string -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val key : t -> string
+(** Canonical string rendering, usable as a hash/cache key. *)
+
+val to_string : t -> string

@@ -1,0 +1,33 @@
+type t =
+  | Prod of string * string list
+  | Sum of string * string list
+  | Eq of string * string
+  | Le of string * string
+  | In of string * int list
+  | Select of string * string * string list
+
+let vars = function
+  | Prod (v, vs) | Sum (v, vs) -> v :: vs
+  | Eq (a, b) | Le (a, b) -> [ a; b ]
+  | In (v, _) -> [ v ]
+  | Select (v, u, vs) -> v :: u :: vs
+
+let holds lookup = function
+  | Prod (v, vs) -> lookup v = List.fold_left (fun acc x -> acc * lookup x) 1 vs
+  | Sum (v, vs) -> lookup v = List.fold_left (fun acc x -> acc + lookup x) 0 vs
+  | Eq (a, b) -> lookup a = lookup b
+  | Le (a, b) -> lookup a <= lookup b
+  | In (v, cs) -> List.mem (lookup v) cs
+  | Select (v, u, vs) ->
+      let i = lookup u in
+      i >= 0 && i < List.length vs && lookup v = lookup (List.nth vs i)
+
+let to_string = function
+  | Prod (v, vs) -> Printf.sprintf "PROD(%s, [%s])" v (String.concat "; " vs)
+  | Sum (v, vs) -> Printf.sprintf "SUM(%s, [%s])" v (String.concat "; " vs)
+  | Eq (a, b) -> Printf.sprintf "EQ(%s, %s)" a b
+  | Le (a, b) -> Printf.sprintf "LE(%s, %s)" a b
+  | In (v, cs) ->
+      Printf.sprintf "IN(%s, [%s])" v (String.concat "; " (List.map string_of_int cs))
+  | Select (v, u, vs) ->
+      Printf.sprintf "SELECT(%s, %s, [%s])" v u (String.concat "; " vs)

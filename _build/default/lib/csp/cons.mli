@@ -1,0 +1,18 @@
+(** The six constraint types of the paper (Table 7). *)
+
+type t =
+  | Prod of string * string list  (** T1: v = v1 * ... * vn *)
+  | Sum of string * string list   (** T2: v = v1 + ... + vn *)
+  | Eq of string * string         (** T3: v1 = v2 *)
+  | Le of string * string         (** T4: v1 <= v2 *)
+  | In of string * int list       (** T5: v in \{c1, ..., cn\} *)
+  | Select of string * string * string list
+      (** T6: v = vs\[u\], where the index u is itself a variable *)
+
+val vars : t -> string list
+(** All variables the constraint mentions. *)
+
+val holds : (string -> int) -> t -> bool
+(** [holds lookup c] checks [c] under a total assignment. *)
+
+val to_string : t -> string

@@ -1,0 +1,147 @@
+type category = Architectural | Loop_length | Tunable | Auxiliary
+
+let category_to_string = function
+  | Architectural -> "architectural"
+  | Loop_length -> "loop-length"
+  | Tunable -> "tunable"
+  | Auxiliary -> "auxiliary"
+
+type t = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+  domains : Domain.t array;
+  categories : category array;
+  cons : Cons.t list;
+}
+
+type builder = {
+  mutable b_names : string list;  (* reversed *)
+  b_index : (string, int) Hashtbl.t;
+  mutable b_domains : Domain.t list;  (* reversed *)
+  mutable b_categories : category list;  (* reversed *)
+  mutable b_cons : Cons.t list;  (* reversed *)
+  mutable b_count : int;
+}
+
+let builder () =
+  { b_names = []; b_index = Hashtbl.create 64; b_domains = []; b_categories = [];
+    b_cons = []; b_count = 0 }
+
+let has_var b name = Hashtbl.mem b.b_index name
+
+let add_var b ?(category = Tunable) name dom =
+  if has_var b name then invalid_arg (Printf.sprintf "Problem.add_var: duplicate %s" name);
+  Hashtbl.add b.b_index name b.b_count;
+  b.b_names <- name :: b.b_names;
+  b.b_domains <- dom :: b.b_domains;
+  b.b_categories <- category :: b.b_categories;
+  b.b_count <- b.b_count + 1
+
+let declare_var b ?(category = Tunable) name dom =
+  match Hashtbl.find_opt b.b_index name with
+  | None -> add_var b ~category name dom
+  | Some i ->
+      (* Intersect with the existing domain in place. *)
+      let doms = Array.of_list (List.rev b.b_domains) in
+      doms.(i) <- Domain.inter doms.(i) dom;
+      b.b_domains <- List.rev (Array.to_list doms)
+
+let domain_of b name =
+  match Hashtbl.find_opt b.b_index name with
+  | None -> invalid_arg (Printf.sprintf "Problem.domain_of: unknown variable %s" name)
+  | Some i ->
+      let doms = Array.of_list (List.rev b.b_domains) in
+      doms.(i)
+
+let add_cons b c =
+  List.iter
+    (fun v ->
+      if not (has_var b v) then
+        invalid_arg (Printf.sprintf "Problem.add_cons: unknown variable %s in %s" v
+            (Cons.to_string c)))
+    (Cons.vars c);
+  b.b_cons <- c :: b.b_cons
+
+let freeze b =
+  {
+    names = Array.of_list (List.rev b.b_names);
+    index = Hashtbl.copy b.b_index;
+    domains = Array.of_list (List.rev b.b_domains);
+    categories = Array.of_list (List.rev b.b_categories);
+    cons = List.rev b.b_cons;
+  }
+
+let of_parts vars cons =
+  let b = builder () in
+  List.iter (fun (name, dom) -> add_var b name dom) vars;
+  List.iter (add_cons b) cons;
+  freeze b
+
+let vars t = t.names
+let n_vars t = Array.length t.names
+let n_cons t = List.length t.cons
+
+let idx t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Problem: unknown variable %s" name)
+
+let domain t name = t.domains.(idx t name)
+let category t name = t.categories.(idx t name)
+let constraints t = t.cons
+
+let vars_of_category t cat =
+  Array.to_list t.names |> List.filter (fun n -> category t n = cat)
+
+let with_extra t cs =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem t.index v) then
+            invalid_arg
+              (Printf.sprintf "Problem.with_extra: unknown variable %s in %s" v
+                 (Cons.to_string c)))
+        (Cons.vars c))
+    cs;
+  { t with cons = t.cons @ cs }
+
+let check t a =
+  let lookup v = Assignment.get a v in
+  let domain_violation =
+    Array.to_list t.names
+    |> List.find_map (fun name ->
+           match Assignment.find_opt a name with
+           | None -> Some (Cons.In (name, Domain.to_list (domain t name)))
+           | Some v ->
+               if Domain.mem v (domain t name) then None
+               else Some (Cons.In (name, Domain.to_list (domain t name))))
+  in
+  match domain_violation with
+  | Some c -> Error c
+  | None -> (
+      match List.find_opt (fun c -> not (Cons.holds lookup c)) t.cons with
+      | Some c -> Error c
+      | None -> Ok ())
+
+let violations t a =
+  let dom_viol =
+    Array.to_list t.names
+    |> List.filter (fun name ->
+           match Assignment.find_opt a name with
+           | None -> true
+           | Some v -> not (Domain.mem v (domain t name)))
+    |> List.length
+  in
+  let lookup v = Assignment.get a v in
+  let cons_viol =
+    List.filter
+      (fun c ->
+        (* A constraint over unbound variables counts as violated. *)
+        match List.find_opt (fun v -> not (Assignment.mem a v)) (Cons.vars c) with
+        | Some _ -> true
+        | None -> not (Cons.holds lookup c))
+      t.cons
+    |> List.length
+  in
+  dom_viol + cons_viol

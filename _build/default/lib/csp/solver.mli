@@ -1,0 +1,51 @@
+(** Propagation-based randomized CSP solving.
+
+    The solver combines fixpoint constraint propagation (bounds reasoning
+    for n-ary PROD/SUM, exact support pruning for binary ones) with a
+    randomized backtracking search, giving the paper's [RandSAT]: draw
+    random valid assignments of a CSP without enumerating the space. *)
+
+type stats = {
+  mutable nodes : int;     (** search nodes explored *)
+  mutable fails : int;     (** dead ends encountered *)
+  mutable restarts : int;  (** randomized restarts *)
+}
+
+val solve :
+  ?max_fails:int ->
+  ?max_restarts:int ->
+  ?exact_limit:int ->
+  ?stats:stats ->
+  Heron_util.Rng.t ->
+  Problem.t ->
+  Assignment.t option
+(** One random valid total assignment, or [None] if the problem looks
+    unsatisfiable (definitely, or after exhausting the fail budget). *)
+
+val rand_sat :
+  ?max_fails:int -> ?exact_limit:int -> Heron_util.Rng.t -> Problem.t -> int -> Assignment.t list
+(** [rand_sat rng p n] draws up to [n] valid assignments (duplicates
+    possible on tiny spaces, fewer than [n] on hard/unsat problems).
+    [exact_limit] caps the domain-size product for exact binary PROD/SUM
+    support pruning; 0 disables it (bounds reasoning only). *)
+
+val propagate_domains : Problem.t -> (string * Domain.t) list option
+(** Runs propagation alone and returns the narrowed domains, or [None] on a
+    wipeout (the CSP is unsatisfiable). Exposed for tests and diagnostics. *)
+
+val enumerate : ?limit:int -> Problem.t -> Assignment.t list
+(** Exhaustive enumeration (deterministic order) of up to [limit] solutions.
+    Only for small test problems. *)
+
+val fresh_stats : unit -> stats
+
+val solve_biased :
+  ?max_fails:int ->
+  Heron_util.Rng.t ->
+  Problem.t ->
+  Assignment.t ->
+  Assignment.t option
+(** Like {!solve}, but when branching on a variable, tries the value the
+    bias assignment proposes first (if still in the domain). This is the
+    decoding step of SAT-decoder genetic algorithms: it maps an arbitrary
+    chromosome to a nearby valid one. *)

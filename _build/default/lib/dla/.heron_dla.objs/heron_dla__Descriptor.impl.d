@@ -1,0 +1,1 @@
+lib/dla/descriptor.ml: List Printf

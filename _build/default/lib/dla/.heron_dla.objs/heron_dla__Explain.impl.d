@@ -1,0 +1,1 @@
+lib/dla/explain.ml: Buffer Descriptor Heron_sched List Perf_model Printf Validate Violation

@@ -1,0 +1,1 @@
+lib/dla/explain.mli: Descriptor Heron_sched

@@ -1,0 +1,1 @@
+lib/dla/measure.ml: Descriptor Heron_csp Heron_sched Heron_util Perf_model Printf Validate Violation

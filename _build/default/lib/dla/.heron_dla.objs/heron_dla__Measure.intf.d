@@ -1,0 +1,1 @@
+lib/dla/measure.mli: Descriptor Heron_sched Violation

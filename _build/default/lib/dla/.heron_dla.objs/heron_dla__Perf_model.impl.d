@@ -1,0 +1,1 @@
+lib/dla/perf_model.ml: Descriptor Heron_csp Heron_sched Heron_tensor Heron_util List

@@ -1,0 +1,1 @@
+lib/dla/perf_model.mli: Descriptor Heron_sched Heron_tensor

@@ -1,0 +1,1 @@
+lib/dla/validate.ml: Descriptor Heron_sched Heron_tensor List Printf Violation

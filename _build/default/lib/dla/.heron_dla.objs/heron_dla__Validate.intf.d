@@ -1,0 +1,1 @@
+lib/dla/validate.mli: Descriptor Heron_sched Violation

@@ -1,0 +1,1 @@
+lib/dla/violation.ml: Printf

@@ -1,0 +1,30 @@
+module Concrete = Heron_sched.Concrete
+
+let report (desc : Descriptor.t) prog =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match Validate.check desc prog with
+  | Ok () -> add "validity: ok"
+  | Error v -> add "validity: INVALID — %s" (Violation.to_string v));
+  let b = Perf_model.analyze desc prog in
+  add "decomposition: %d blocks x %d warps, %d resident/unit, %d wave%s" b.Perf_model.blocks
+    b.Perf_model.warps b.Perf_model.blocks_per_unit b.Perf_model.waves
+    (if b.Perf_model.waves = 1 then "" else "s");
+  List.iter
+    (fun (scope, cap) ->
+      let used =
+        Concrete.stages_in_scope prog scope
+        |> List.fold_left (fun acc s -> acc + Concrete.footprint_bytes prog s) 0
+      in
+      if used > 0 then
+        add "scratchpad %-10s %6d / %d bytes (%.0f%%)" scope used cap
+          (100.0 *. float_of_int used /. float_of_int cap))
+    desc.Descriptor.spm_capacity;
+  let total = b.Perf_model.compute_us +. b.Perf_model.mem_us +. b.Perf_model.spm_us in
+  let pct x = if total > 0.0 then 100.0 *. x /. total else 0.0 in
+  add "time: compute %.1f us (%.0f%%) | off-chip %.1f us (%.0f%%) | on-chip %.1f us (%.0f%%)"
+    b.Perf_model.compute_us (pct b.Perf_model.compute_us) b.Perf_model.mem_us
+    (pct b.Perf_model.mem_us) b.Perf_model.spm_us (pct b.Perf_model.spm_us);
+  add "latency: %.1f us (utilization %.0f%%)" b.Perf_model.latency_us
+    (100.0 *. b.Perf_model.utilization);
+  Buffer.contents buf

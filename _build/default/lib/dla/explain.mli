@@ -1,0 +1,7 @@
+(** Human-readable performance reports for a concrete program: where the
+    time goes, how the grid maps onto the hardware, and which architectural
+    limits bind. Used by the tuning CLI. *)
+
+val report : Descriptor.t -> Heron_sched.Concrete.t -> string
+(** Multi-line report: validity, launch decomposition, scratchpad usage per
+    scope against its capacity, and the compute/memory/on-chip time split. *)

@@ -1,0 +1,27 @@
+module Concrete = Heron_sched.Concrete
+module Hashing = Heron_util.Hashing
+
+type t = { desc : Descriptor.t; reps : int; mutable count : int }
+
+let create ?(reps = 3) desc = { desc; reps; count = 0 }
+
+let run t prog =
+  t.count <- t.count + 1;
+  match Validate.check t.desc prog with
+  | Error v -> Error v
+  | Ok () ->
+      let base = Perf_model.latency_us t.desc prog in
+      let key = Heron_csp.Assignment.key prog.Concrete.assignment in
+      let total = ref 0.0 in
+      for rep = 1 to t.reps do
+        (* Per-repetition run-to-run noise, smaller than the configuration
+           jitter already inside the model. *)
+        let eps = Hashing.signed_unit (Printf.sprintf "%s#%d" key rep) in
+        total := !total +. (base *. (1.0 +. (0.01 *. eps)))
+      done;
+      Ok (!total /. float_of_int t.reps)
+
+let latency_exn t prog =
+  match run t prog with
+  | Ok l -> l
+  | Error v -> failwith ("Measure.latency_exn: invalid program: " ^ Violation.to_string v)

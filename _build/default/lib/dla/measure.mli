@@ -1,0 +1,18 @@
+(** The DLA Measurer: validates a program, then "runs" it several times on
+    the simulator and reports the average latency, exactly as the paper's
+    measurement module reports averaged hardware timings. *)
+
+type t = {
+  desc : Descriptor.t;
+  reps : int;
+  mutable count : int;  (** total measurement invocations so far *)
+}
+
+val create : ?reps:int -> Descriptor.t -> t
+
+val run : t -> Heron_sched.Concrete.t -> (float, Violation.t) result
+(** Average latency in microseconds, or the violation that makes the
+    program fail to compile/run. *)
+
+val latency_exn : t -> Heron_sched.Concrete.t -> float
+(** @raise Failure on an invalid program. *)

@@ -1,0 +1,29 @@
+(** Analytic performance models for the simulated DLAs.
+
+    The model composes three time components — intrinsic/scalar compute,
+    off-chip traffic, and on-chip (scratchpad) traffic — from the concrete
+    program's loop structure: grid/thread decomposition, tile footprints
+    and reuse (attach) depths, vector widths, unroll pragmas and
+    storage-align padding. A small deterministic, configuration-dependent
+    jitter makes the landscape rugged, as on real hardware (paper Fig. 11).
+
+    The model assumes the program already passed {!Validate.check}. *)
+
+type breakdown = {
+  compute_us : float;
+  mem_us : float;  (** off-chip traffic time *)
+  spm_us : float;  (** on-chip traffic time, bank conflicts included *)
+  latency_us : float;  (** composed latency, jitter applied *)
+  blocks : int;
+  warps : int;
+  waves : int;
+  blocks_per_unit : int;
+  utilization : float;  (** compute efficiency factor in \[0, 1\] *)
+}
+
+val analyze : Descriptor.t -> Heron_sched.Concrete.t -> breakdown
+
+val latency_us : Descriptor.t -> Heron_sched.Concrete.t -> float
+
+val achieved_tflops : Heron_tensor.Op.t -> float -> float
+(** [achieved_tflops op latency_us] from the operator's nominal flops. *)

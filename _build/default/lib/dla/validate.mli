@@ -1,0 +1,14 @@
+(** Program validation against a DLA descriptor.
+
+    This is the simulator's ground truth for what real hardware rejects:
+    the Heron Space Generator emits constraints that mirror exactly these
+    checks, so every assignment drawn from its constrained space passes,
+    while unconstrained baselines routinely fail here. *)
+
+val check : Descriptor.t -> Heron_sched.Concrete.t -> (unit, Violation.t) result
+(** First violation found, scanning in a fixed order: iteration-space
+    coverage, staging-tile data coverage (a cache stage must load at least
+    what its consumer reads), intrinsic shape, scratchpad capacities,
+    vector widths, thread limits, and family-specific loop-order rules. *)
+
+val is_valid : Descriptor.t -> Heron_sched.Concrete.t -> bool

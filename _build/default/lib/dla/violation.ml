@@ -1,0 +1,21 @@
+type t =
+  | Bad_intrinsic_shape of (int * int * int)
+  | Missing_tensorize
+  | Spm_overflow of { scope : string; used : int; cap : int }
+  | Bad_vector_length of int
+  | Bad_loop_order of string
+  | Too_many_threads of int
+  | Coverage of string
+  | Unsatisfied_constraint of string
+
+let to_string = function
+  | Bad_intrinsic_shape (m, n, k) ->
+      Printf.sprintf "intrinsic shape (%d, %d, %d) unsupported by the functional unit" m n k
+  | Missing_tensorize -> "the accelerator has no scalar path; computation must be tensorized"
+  | Spm_overflow { scope; used; cap } ->
+      Printf.sprintf "scratchpad %S overflow: %d bytes used, capacity %d" scope used cap
+  | Bad_vector_length v -> Printf.sprintf "vectorized access of width %d unsupported" v
+  | Bad_loop_order why -> "loop order violates write timing: " ^ why
+  | Too_many_threads n -> Printf.sprintf "%d threads per block exceeds the hardware limit" n
+  | Coverage why -> "loop nest does not cover the iteration space: " ^ why
+  | Unsatisfied_constraint c -> "assignment violates constraint " ^ c

@@ -1,0 +1,19 @@
+(** The ways a program can be invalid on a DLA — the "compilation or
+    run-time error" that makes unconstrained search spaces low-quality. *)
+
+type t =
+  | Bad_intrinsic_shape of (int * int * int)
+      (** tensorized with a shape the functional unit does not support *)
+  | Missing_tensorize
+      (** the DLA has no scalar fallback (VTA) but the program is untiled *)
+  | Spm_overflow of { scope : string; used : int; cap : int }
+  | Bad_vector_length of int
+  | Bad_loop_order of string
+      (** VTA write-address timing constraint violated *)
+  | Too_many_threads of int
+  | Coverage of string
+      (** the loop nest does not cover the iteration space exactly *)
+  | Unsatisfied_constraint of string
+      (** the assignment violates its own CSP (unconstrained searchers) *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Heron Heron_csp Heron_dla Heron_search Heron_tensor Heron_util List Printf Report Sys

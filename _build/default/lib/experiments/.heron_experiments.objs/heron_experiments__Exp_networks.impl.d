@@ -1,0 +1,1 @@
+lib/experiments/exp_networks.ml: Hashtbl Heron Heron_baselines Heron_dla Heron_nets Heron_tensor List Printf Report String

@@ -1,0 +1,1 @@
+lib/experiments/exp_ops.ml: Heron Heron_baselines Heron_dla Heron_nets Heron_tensor List Option Printf Report

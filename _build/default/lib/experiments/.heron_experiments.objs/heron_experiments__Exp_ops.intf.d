@@ -1,0 +1,1 @@
+lib/experiments/exp_ops.mli: Heron_baselines Heron_dla Heron_tensor

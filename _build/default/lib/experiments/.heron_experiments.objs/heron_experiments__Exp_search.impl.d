@@ -1,0 +1,1 @@
+lib/experiments/exp_search.ml: Heron Heron_dla Heron_search Heron_tensor List Printf Report String

@@ -1,0 +1,1 @@
+lib/experiments/exp_space.ml: Hashtbl Heron Heron_baselines Heron_csp Heron_dla Heron_nets Heron_sched Heron_tensor Heron_util List Printf Report

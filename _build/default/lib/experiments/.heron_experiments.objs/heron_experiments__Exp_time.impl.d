@@ -1,0 +1,1 @@
+lib/experiments/exp_time.ml: Heron Heron_baselines Heron_dla Heron_search Heron_tensor List Printf Report Sys

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: List Printf String

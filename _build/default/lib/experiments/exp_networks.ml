@@ -1,0 +1,78 @@
+module Op = Heron_tensor.Op
+module Descriptor = Heron_dla.Descriptor
+module Methods = Heron_baselines.Methods
+module Models = Heron_nets.Models
+
+let op_key (op : Op.t) =
+  op.Op.cname ^ "/"
+  ^ String.concat "x"
+      (List.map (fun (it : Op.iter) -> string_of_int it.Op.extent) op.Op.iters)
+
+let fig10 ?(budget = 48) ?(seed = 42) () =
+  let desc = Descriptor.v100 in
+  let methods =
+    [ Methods.heron; Methods.autotvm; Methods.amos;
+      Methods.vendor Heron.Hand_tuned.Pytorch ]
+  in
+  (* Tune each distinct layer shape once per method. *)
+  let cache : (string, float option) Hashtbl.t = Hashtbl.create 128 in
+  let layer_latency (m : Methods.t) op =
+    let key = m.Methods.name ^ "|" ^ op_key op in
+    match Hashtbl.find_opt cache key with
+    | Some l -> l
+    | None ->
+        (* A couple of retry seeds: at reduced budgets a stochastic searcher
+           can whiff a single layer, which would null the whole network. *)
+        let l =
+          if not (m.Methods.supports desc op) then None
+          else
+            List.fold_left
+              (fun acc s ->
+                match acc with
+                | Some _ -> acc
+                | None -> (m.Methods.run desc op ~budget ~seed:s).Methods.latency_us)
+              None
+              [ seed; seed + 101; seed + 202 ]
+        in
+        Hashtbl.replace cache key l;
+        l
+  in
+  let network_latency (m : Methods.t) (net : Models.network) =
+    List.fold_left
+      (fun acc (count, op) ->
+        match (acc, layer_latency m op) with
+        | Some total, Some l -> Some (total +. (float_of_int count *. l))
+        | _ -> None)
+      (Some 0.0) net.Models.layers
+  in
+  let rows =
+    List.map
+      (fun net ->
+        let heron_l = network_latency Methods.heron net in
+        let cells =
+          List.filter_map
+            (fun (m : Methods.t) ->
+              if m.Methods.name = "Heron" then None
+              else
+                Some
+                  (match (network_latency m net, heron_l) with
+                  | Some l, Some lh -> Printf.sprintf "%.2fx" (l /. lh)
+                  | _ -> "-"))
+            methods
+        in
+        let heron_ms =
+          match heron_l with Some l -> Printf.sprintf "%.2f ms" (l /. 1000.0) | None -> "-"
+        in
+        net.Models.net_name :: heron_ms :: cells)
+      Models.all
+  in
+  let header =
+    "network" :: "Heron latency"
+    :: List.filter_map
+         (fun (m : Methods.t) ->
+           if m.Methods.name = "Heron" then None else Some ("Heron vs " ^ m.Methods.name))
+         methods
+  in
+  "Figure 10 — network performance on V100 TensorCore (batch 16)\n"
+  ^ "(latency_method / latency_Heron; >1 means Heron is faster)\n\n"
+  ^ Report.table ~header rows

@@ -1,0 +1,7 @@
+(** Figure 10: end-to-end network performance on TensorCore. *)
+
+val fig10 : ?budget:int -> ?seed:int -> unit -> string
+(** Multiplicity-weighted network latency for Heron, AutoTVM, AMOS and the
+    PyTorch (cuDNN/cuBLAS) proxy on ResNet-50, VGG-16, Inception-V3 and
+    BERT, reported relative to Heron. Distinct layer shapes are tuned once
+    and shared across occurrences. *)

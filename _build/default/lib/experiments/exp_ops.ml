@@ -1,0 +1,145 @@
+module Op = Heron_tensor.Op
+module Descriptor = Heron_dla.Descriptor
+module Perf_model = Heron_dla.Perf_model
+module Methods = Heron_baselines.Methods
+module Suites = Heron_nets.Suites
+
+type cell = { method_name : string; latency_us : float option }
+
+type shape_result = { shape_name : string; op : Op.t; cells : cell list }
+
+let run_shapes ~budget ~seed desc ~methods shapes =
+  List.map
+    (fun (shape_name, op) ->
+      let cells =
+        List.map
+          (fun (m : Methods.t) ->
+            let latency_us =
+              if m.Methods.supports desc op then
+                (m.Methods.run desc op ~budget ~seed).Methods.latency_us
+              else None
+            in
+            { method_name = m.Methods.name; latency_us })
+          methods
+      in
+      { shape_name; op; cells })
+    shapes
+
+let heron_latency r =
+  List.find_map
+    (fun c -> if c.method_name = "Heron" then c.latency_us else None)
+    r.cells
+
+let relative_to_heron r =
+  let h = heron_latency r in
+  List.filter_map
+    (fun c ->
+      if c.method_name = "Heron" then None
+      else
+        Some
+          ( c.method_name,
+            match (c.latency_us, h) with
+            | Some l, Some lh -> Some (l /. lh)
+            | _ -> None ))
+    r.cells
+
+(* Geometric-mean Heron speedup per (operator class, method). *)
+let class_table ~budget ~seed desc ~methods suites =
+  let method_names =
+    List.filter_map
+      (fun (m : Methods.t) -> if m.Methods.name = "Heron" then None else Some m.Methods.name)
+      methods
+  in
+  let rows =
+    List.map
+      (fun (cls, ops) ->
+        let shapes = List.mapi (fun i op -> (Printf.sprintf "%s#%d" cls i, op)) ops in
+        let results = run_shapes ~budget ~seed desc ~methods shapes in
+        let per_method name =
+          let ratios =
+            List.filter_map
+              (fun r ->
+                relative_to_heron r
+                |> List.assoc_opt name
+                |> Option.join)
+              results
+          in
+          if ratios = [] then "-" else Printf.sprintf "%.2fx" (Report.geomean ratios)
+        in
+        cls :: List.map per_method method_names)
+      suites
+  in
+  Report.table ~header:("operator" :: List.map (fun n -> "Heron vs " ^ n) method_names) rows
+
+let fig6 ?(budget = 80) ?(seed = 42) () =
+  let methods =
+    [ Methods.heron; Methods.autotvm; Methods.ansor; Methods.amos;
+      Methods.vendor Heron.Hand_tuned.Pytorch ]
+  in
+  "Figure 6 — operator performance on NVIDIA V100 TensorCore\n"
+  ^ "(geomean of latency_method / latency_Heron; >1 means Heron is faster)\n\n"
+  ^ class_table ~budget ~seed Descriptor.v100 ~methods Suites.tensorcore_ops
+
+let fig7 ?(budget = 80) ?(seed = 42) () =
+  let methods =
+    [ Methods.heron; Methods.autotvm; Methods.ansor; Methods.amos; Methods.akg;
+      Methods.vendor Heron.Hand_tuned.Cublas; Methods.vendor Heron.Hand_tuned.Cudnn ]
+  in
+  let section desc =
+    let shapes = Suites.table9_gemm @ Suites.table9_c2d in
+    let results = run_shapes ~budget ~seed desc ~methods shapes in
+    let rows =
+      List.map
+        (fun r ->
+          r.shape_name
+          :: List.map
+               (fun c ->
+                 match c.latency_us with
+                 | None -> "-"
+                 | Some l -> Printf.sprintf "%.2f" (Perf_model.achieved_tflops r.op l))
+               r.cells)
+        results
+    in
+    Printf.sprintf "%s (achieved TFLOPS, higher is better)\n%s" desc.Descriptor.dname
+      (Report.table
+         ~header:("shape" :: List.map (fun (m : Methods.t) -> m.Methods.name) methods)
+         rows)
+  in
+  "Figure 7 / Table 9 — GEMM G1-G5 and C2D C1-C5 on T4 and A100\n\n"
+  ^ section Descriptor.t4 ^ "\n" ^ section Descriptor.a100
+
+let fig8 ?(budget = 80) ?(seed = 42) () =
+  let methods =
+    [ Methods.heron; Methods.autotvm; Methods.ansor; Methods.amos;
+      Methods.vendor Heron.Hand_tuned.Onednn ]
+  in
+  "Figure 8 — operator performance on Intel DL Boost (int8)\n"
+  ^ "(geomean of latency_method / latency_Heron; >1 means Heron is faster)\n\n"
+  ^ class_table ~budget ~seed Descriptor.dlboost ~methods Suites.dlboost_ops
+
+let fig9 ?(budget = 80) ?(seed = 42) () =
+  let methods = [ Methods.heron; Methods.autotvm ] in
+  "Figure 9 — operator performance on TVM VTA (int8)\n"
+  ^ "(geomean of latency_method / latency_Heron; >1 means Heron is faster)\n\n"
+  ^ class_table ~budget ~seed Descriptor.vta ~methods Suites.vta_ops
+
+let table9 () =
+  let gemm_rows =
+    List.map
+      (fun (name, (op : Op.t)) ->
+        let d n = (Op.find_iter op n).Op.extent in
+        [ name; string_of_int (d "i"); string_of_int (d "j"); string_of_int (d "r") ])
+      Suites.table9_gemm
+  in
+  let c2d_rows =
+    List.map
+      (fun (name, (op : Op.t)) ->
+        let d n = (Op.find_iter op n).Op.extent in
+        [ name; string_of_int (d "n"); string_of_int (d "oh"); string_of_int (d "ow");
+          string_of_int (d "rc"); string_of_int (d "co"); string_of_int (d "rh") ])
+      Suites.table9_c2d
+  in
+  "Table 9 — evaluated configurations\n\n"
+  ^ Report.table ~header:[ "GEMM"; "M"; "N"; "K" ] gemm_rows
+  ^ "\n"
+  ^ Report.table ~header:[ "C2D"; "batch"; "OH"; "OW"; "CI"; "CO"; "R" ] c2d_rows

@@ -1,0 +1,121 @@
+module Op = Heron_tensor.Op
+module Descriptor = Heron_dla.Descriptor
+module Concrete = Heron_sched.Concrete
+module Measure = Heron_dla.Measure
+module Solver = Heron_csp.Solver
+module Rng = Heron_util.Rng
+module Generator = Heron.Generator
+module Stats = Heron.Stats
+module Relax = Heron_baselines.Relax
+module Suites = Heron_nets.Suites
+
+let table4 () =
+  let op = Op.gemm ~m:1024 ~n:1024 ~k:1024 () in
+  let gen = Generator.generate Descriptor.v100 op in
+  let c = Stats.of_problem gen.Generator.problem in
+  "Table 4 — variables describing GEMM's constraints on TensorCore\n\n"
+  ^ Report.table
+      ~header:[ "Architectural"; "Loop length"; "Tunable"; "Others" ]
+      [
+        [ string_of_int c.Stats.architectural; string_of_int c.Stats.loop_length;
+          string_of_int c.Stats.tunable; string_of_int c.Stats.auxiliary ];
+      ]
+
+let table5_ops () =
+  [
+    ("GEMM", Op.gemm ~m:1024 ~n:1024 ~k:1024 ());
+    ("BMM", Op.bmm ~b:192 ~m:128 ~n:128 ~k:64 ());
+    ("C1D", Op.conv1d ~n:16 ~ci:64 ~l:256 ~co:128 ~kl:3 ~stride:1 ~pad:1 ());
+    ("C2D", Op.conv2d ~n:16 ~ci:64 ~h:56 ~w:56 ~co:64 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ());
+    ( "C3D",
+      Op.conv3d ~n:8 ~ci:16 ~d:8 ~h:28 ~w:28 ~co:32 ~kd:3 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () );
+  ]
+
+let table5 () =
+  let rows =
+    List.map
+      (fun (name, op) ->
+        let gen = Generator.generate Descriptor.v100 op in
+        let c = Stats.of_problem gen.Generator.problem in
+        [ name; string_of_int c.Stats.total_vars; string_of_int c.Stats.total_cons ])
+      (table5_ops ())
+  in
+  "Table 5 — number of variables and constraints used for space description\n\n"
+  ^ Report.table ~header:[ "operator"; "variables"; "constraints" ] rows
+
+(* Figure 11: sample a space, bucket samples by the shared-memory bytes of
+   the C and A tiles (log2 bins), record the best GFLOPS per bucket. *)
+let sample_grid ~samples ~seed desc (gen : Generator.t) problem =
+  let rng = Rng.create seed in
+  let measurer = Measure.create desc in
+  let grid = Hashtbl.create 64 in
+  let n_valid = ref 0 and n_total = ref 0 in
+  let assignments = Solver.rand_sat rng problem samples in
+  List.iter
+    (fun a ->
+      incr n_total;
+      match Concrete.instantiate gen.Generator.template a with
+      | exception Invalid_argument _ -> ()
+      | prog ->
+          let bytes_of name =
+            match Concrete.find_stage prog name with
+            | exception Invalid_argument _ -> 0
+            | s -> Concrete.footprint_bytes prog s
+          in
+          let bucket b = if b <= 0 then 0 else Heron_util.Ints.log2_floor b in
+          let key = (bucket (bytes_of "C.shared"), bucket (bytes_of "A.shared")) in
+          let gflops =
+            match Measure.run measurer prog with
+            | Error _ -> 0.0
+            | Ok l ->
+                incr n_valid;
+                prog.Concrete.op.Op.flops /. l /. 1e3
+          in
+          let prev = match Hashtbl.find_opt grid key with Some g -> g | None -> 0.0 in
+          Hashtbl.replace grid key (max prev gflops))
+    assignments;
+  (grid, !n_valid, !n_total)
+
+let render_grid grid =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) grid [] in
+  if keys = [] then "(no samples)\n"
+  else begin
+    let cs = List.sort_uniq compare (List.map fst keys) in
+    let as_ = List.sort_uniq compare (List.map snd keys) in
+    let rows =
+      List.map
+        (fun c ->
+          Printf.sprintf "2^%d" c
+          :: List.map
+               (fun a ->
+                 match Hashtbl.find_opt grid (c, a) with
+                 | None -> "."
+                 | Some 0.0 -> "inv"
+                 | Some g -> Printf.sprintf "%.0f" g)
+               as_)
+        cs
+    in
+    Report.table
+      ~header:("smem(C) \\ smem(A)" :: List.map (fun a -> Printf.sprintf "2^%d" a) as_)
+      rows
+  end
+
+let fig11 ?(samples = 300) ?(seed = 42) () =
+  let desc = Descriptor.v100 in
+  let op = List.assoc "G1" Suites.table9_gemm in
+  let gen = Generator.generate desc op in
+  let heron_grid, hv, ht = sample_grid ~samples ~seed desc gen gen.Generator.problem in
+  let relaxed =
+    gen.Generator.problem |> Relax.drop_memory_limits
+    |> Relax.fix_vars
+         [ ("pad_a", 0); ("pad_b", 0); ("pad_c", 0); ("loc_a", 0); ("loc_b", 0);
+           ("intrin_m", 16); ("intrin_n", 16); ("intrin_k", 16) ]
+  in
+  let tvm_grid, tv, tt = sample_grid ~samples ~seed desc gen relaxed in
+  Printf.sprintf
+    "Figure 11 — search-space quality on GEMM G1 (best sampled GFLOPS per sub-space;\n\
+     rows: shared memory of C tile, columns: shared memory of A tile; 'inv' = only\n\
+     invalid programs sampled there)\n\n\
+     Heron space (%d/%d samples valid):\n%s\n\
+     AutoTVM-style space (%d/%d samples valid):\n%s"
+    hv ht (render_grid heron_grid) tv tt (render_grid tvm_grid)

@@ -1,0 +1,13 @@
+(** Search-space structure experiments: Tables 4 and 5 (variable and
+    constraint counts) and Figure 11 (space-quality visualization). *)
+
+val table4 : unit -> string
+(** Variable-category breakdown for GEMM on TensorCore. *)
+
+val table5 : unit -> string
+(** Variables/constraints for GEMM, BMM, C1D, C2D, C3D on TensorCore. *)
+
+val fig11 : ?samples:int -> ?seed:int -> unit -> string
+(** Heat map of the best sampled GFLOPS per (shared-memory-of-C,
+    shared-memory-of-A) sub-space, for Heron's automatically constrained
+    space vs the AutoTVM-style manually constrained space on GEMM G1. *)

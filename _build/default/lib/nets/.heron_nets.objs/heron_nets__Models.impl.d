@@ -1,0 +1,1 @@
+lib/nets/models.ml: Heron_tensor List

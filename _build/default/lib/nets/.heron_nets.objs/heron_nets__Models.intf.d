@@ -1,0 +1,1 @@
+lib/nets/models.mli: Heron_tensor

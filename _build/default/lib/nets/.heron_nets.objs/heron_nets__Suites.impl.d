@@ -1,0 +1,1 @@
+lib/nets/suites.ml: Heron_tensor List

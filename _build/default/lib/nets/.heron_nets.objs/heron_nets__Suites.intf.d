@@ -1,0 +1,1 @@
+lib/nets/suites.mli: Heron_tensor

@@ -1,0 +1,96 @@
+module Op = Heron_tensor.Op
+
+type network = { net_name : string; layers : (int * Op.t) list }
+
+let batch = 16
+
+let c2d ?(stride = 1) ?(pad = 1) ci h co k =
+  Op.conv2d ~n:batch ~ci ~h ~w:h ~co ~kh:k ~kw:k ~stride ~pad ()
+
+let gemm m n k = Op.gemm ~m ~n ~k ()
+
+(* Representative bottleneck layers; 1x1 convolutions dominate. *)
+let resnet50 =
+  {
+    net_name = "ResNet-50";
+    layers =
+      [
+        (1, c2d ~stride:2 ~pad:3 16 224 64 7);  (* stem (ci 3 padded to 16) *)
+        (3, c2d ~pad:0 64 56 64 1);
+        (3, c2d 64 56 64 3);
+        (3, c2d ~pad:0 64 56 256 1);
+        (4, c2d ~pad:0 256 28 128 1);
+        (4, c2d 128 28 128 3);
+        (4, c2d ~pad:0 128 28 512 1);
+        (6, c2d ~pad:0 512 14 256 1);
+        (6, c2d 256 14 256 3);
+        (6, c2d ~pad:0 256 14 1024 1);
+        (3, c2d ~pad:0 1024 7 512 1);
+        (3, c2d 512 7 512 3);
+        (3, c2d ~pad:0 512 7 2048 1);
+        (1, gemm batch 1000 2048);  (* classifier *)
+      ];
+  }
+
+let vgg16 =
+  {
+    net_name = "VGG-16";
+    layers =
+      [
+        (1, c2d 16 224 64 3);  (* ci 3 padded to 16 *)
+        (1, c2d 64 224 64 3);
+        (1, c2d 64 112 128 3);
+        (1, c2d 128 112 128 3);
+        (1, c2d 128 56 256 3);
+        (2, c2d 256 56 256 3);
+        (1, c2d 256 28 512 3);
+        (2, c2d 512 28 512 3);
+        (3, c2d 512 14 512 3);
+        (1, gemm batch 4096 25088);
+        (1, gemm batch 4096 4096);
+        (1, gemm batch 1000 4096);
+      ];
+  }
+
+let inception_v3 =
+  {
+    net_name = "Inception-V3";
+    layers =
+      [
+        (1, c2d ~stride:2 ~pad:0 16 299 32 3);
+        (1, c2d ~pad:0 32 149 32 3);
+        (1, c2d 32 147 64 3);
+        (4, c2d ~pad:0 192 35 64 1);
+        (4, c2d ~pad:2 64 35 96 5);
+        (6, c2d ~pad:0 288 17 128 1);
+        (6, c2d 128 17 192 3);
+        (4, c2d ~pad:0 768 8 192 1);
+        (4, c2d 192 8 320 3);
+        (2, c2d ~pad:0 1280 8 384 1);
+        (1, gemm batch 1000 2048);
+      ];
+  }
+
+(* BERT-base, sequence length 128: 12 identical transformer layers. *)
+let bert =
+  let tokens = batch * 128 in
+  let heads = 12 in
+  {
+    net_name = "BERT";
+    layers =
+      [
+        (36, gemm tokens 768 768);  (* Q, K, V projections, 12 layers *)
+        (12, Op.bmm ~b:(batch * heads) ~m:128 ~n:128 ~k:64 ());  (* QK^T *)
+        (12, Op.bmm ~b:(batch * heads) ~m:128 ~n:64 ~k:128 ());  (* attn x V *)
+        (12, gemm tokens 768 768);  (* output projection *)
+        (12, gemm tokens 3072 768);  (* FFN up *)
+        (12, gemm tokens 768 3072);  (* FFN down *)
+      ];
+  }
+
+let all = [ resnet50; vgg16; inception_v3; bert ]
+
+let total_flops net =
+  List.fold_left
+    (fun acc (count, (op : Op.t)) -> acc +. (float_of_int count *. op.Op.flops))
+    0.0 net.layers

@@ -1,0 +1,20 @@
+(** Layer tables for the four evaluated networks (batch 16).
+
+    Each network is a list of (multiplicity, operator): the distinct
+    compute-heavy layers with how many times they occur. End-to-end network
+    latency for a method is the multiplicity-weighted sum of its per-layer
+    latencies (graph-level effects such as fusion are out of scope, as in
+    the paper's per-backend comparison). *)
+
+module Op = Heron_tensor.Op
+
+type network = { net_name : string; layers : (int * Op.t) list }
+
+val resnet50 : network
+val vgg16 : network
+val inception_v3 : network
+val bert : network
+
+val all : network list
+
+val total_flops : network -> float

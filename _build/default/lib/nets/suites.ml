@@ -1,0 +1,117 @@
+module Op = Heron_tensor.Op
+
+let gemm ?(dt = Op.F16) m n k = Op.gemm ~dt ~m ~n ~k ()
+
+let table9_gemm =
+  [
+    ("G1", gemm 1024 1024 1024);
+    ("G2", gemm 4096 4096 4096);
+    ("G3", gemm 32 1000 2048);
+    ("G4", gemm 32 4096 4096);
+    ("G5", gemm 32 1000 4096);
+  ]
+
+let c2d ?(dt = Op.F16) n h w ci co r s pad stride =
+  Op.conv2d ~dt ~n ~ci ~h ~w ~co ~kh:r ~kw:s ~stride ~pad ()
+
+let table9_c2d =
+  [
+    ("C1", c2d 1 56 56 64 64 1 1 0 1);
+    ("C2", c2d 8 28 28 512 128 1 1 1 1);
+    ("C3", c2d 16 14 14 1024 512 1 1 0 2);
+    ("C4", c2d 32 7 7 512 512 3 3 0 1);
+    ("C5", c2d 32 14 14 256 256 3 3 1 1);
+  ]
+
+(* Figure 6 suite: three representative shapes per operator class,
+   drawn from ResNet-50 / VGG-16 / Inception-V3 / BERT layers (batch 16). *)
+let tensorcore_ops =
+  [
+    ("GEMM", [ gemm 1024 1024 1024; gemm 4096 4096 4096; gemm 32 1000 4096 ]);
+    ( "BMM",
+      [
+        Op.bmm ~b:192 ~m:128 ~n:128 ~k:64 ();
+        Op.bmm ~b:192 ~m:128 ~n:64 ~k:128 ();
+        Op.bmm ~b:16 ~m:512 ~n:512 ~k:64 ();
+      ] );
+    ( "C1D",
+      [
+        Op.conv1d ~n:16 ~ci:64 ~l:256 ~co:128 ~kl:3 ~stride:1 ~pad:1 ();
+        Op.conv1d ~n:16 ~ci:128 ~l:128 ~co:256 ~kl:3 ~stride:2 ~pad:1 ();
+        Op.conv1d ~n:16 ~ci:256 ~l:64 ~co:256 ~kl:1 ~stride:1 ~pad:0 ();
+      ] );
+    ( "C2D",
+      [
+        c2d 16 56 56 64 64 3 3 1 1;
+        c2d 16 28 28 128 128 3 3 1 1;
+        c2d 16 14 14 256 256 3 3 1 1;
+      ] );
+    ( "C3D",
+      [
+        Op.conv3d ~n:8 ~ci:16 ~d:8 ~h:28 ~w:28 ~co:32 ~kd:3 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ();
+        Op.conv3d ~n:8 ~ci:32 ~d:8 ~h:14 ~w:14 ~co:64 ~kd:3 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ();
+        Op.conv3d ~n:4 ~ci:64 ~d:4 ~h:14 ~w:14 ~co:64 ~kd:1 ~kh:1 ~kw:1 ~stride:1 ~pad:0 ();
+      ] );
+    ( "T2D",
+      [
+        Op.transposed2d ~n:16 ~ci:64 ~h:14 ~w:14 ~co:64 ~kh:4 ~kw:4 ~stride:2 ~pad:1 ();
+        Op.transposed2d ~n:16 ~ci:128 ~h:7 ~w:7 ~co:64 ~kh:4 ~kw:4 ~stride:2 ~pad:1 ();
+        Op.transposed2d ~n:8 ~ci:256 ~h:7 ~w:7 ~co:128 ~kh:2 ~kw:2 ~stride:2 ~pad:0 ();
+      ] );
+    ( "DIL",
+      [
+        Op.dilated2d ~n:16 ~ci:64 ~h:56 ~w:56 ~co:64 ~kh:3 ~kw:3 ~stride:1 ~pad:2 ~dilation:2 ();
+        Op.dilated2d ~n:16 ~ci:128 ~h:28 ~w:28 ~co:128 ~kh:3 ~kw:3 ~stride:1 ~pad:2 ~dilation:2 ();
+        Op.dilated2d ~n:8 ~ci:256 ~h:14 ~w:14 ~co:256 ~kh:3 ~kw:3 ~stride:1 ~pad:4 ~dilation:4 ();
+      ] );
+    ( "GEMV",
+      [
+        Op.gemv ~m:1024 ~k:1024 ();
+        Op.gemv ~m:4096 ~k:4096 ();
+        Op.gemv ~m:1000 ~k:2048 ();
+      ] );
+    ( "SCAN",
+      [ Op.scan ~b:64 ~l:4096 (); Op.scan ~b:512 ~l:1024 (); Op.scan ~b:16 ~l:65536 () ] );
+  ]
+
+(* Figure 8 suite: int8 shapes for VNNI. *)
+let dlboost_ops =
+  let dt = Op.I8 in
+  [
+    ("GEMM", [ gemm ~dt 1024 1024 1024; gemm ~dt 512 4096 1024; gemm ~dt 32 4096 4096 ]);
+    ( "BMM",
+      [ Op.bmm ~dt ~b:192 ~m:128 ~n:128 ~k:64 (); Op.bmm ~dt ~b:16 ~m:512 ~n:512 ~k:64 () ] );
+    ( "C1D",
+      [
+        Op.conv1d ~dt ~n:16 ~ci:64 ~l:256 ~co:128 ~kl:3 ~stride:1 ~pad:1 ();
+        Op.conv1d ~dt ~n:16 ~ci:128 ~l:128 ~co:256 ~kl:3 ~stride:2 ~pad:1 ();
+      ] );
+    ( "C2D",
+      [ c2d ~dt 16 56 56 64 64 3 3 1 1; c2d ~dt 16 28 28 128 128 3 3 1 1 ] );
+    ( "C3D",
+      [
+        Op.conv3d ~dt ~n:8 ~ci:16 ~d:8 ~h:28 ~w:28 ~co:32 ~kd:3 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ();
+      ] );
+    ( "T2D",
+      [ Op.transposed2d ~dt ~n:16 ~ci:64 ~h:14 ~w:14 ~co:64 ~kh:4 ~kw:4 ~stride:2 ~pad:1 () ] );
+    ( "DIL",
+      [
+        Op.dilated2d ~dt ~n:16 ~ci:64 ~h:28 ~w:28 ~co:64 ~kh:3 ~kw:3 ~stride:1 ~pad:2
+          ~dilation:2 ();
+      ] );
+    ("GEMV", [ Op.gemv ~dt ~m:1024 ~k:1024 (); Op.gemv ~dt ~m:4096 ~k:4096 () ]);
+  ]
+
+let vta_ops =
+  let dt = Op.I8 in
+  [
+    ("GEMM", [ gemm ~dt 256 256 256; gemm ~dt 1024 1024 1024; gemm ~dt 64 2048 1024 ]);
+    ( "C2D",
+      [ c2d ~dt 1 56 56 64 64 3 3 1 1; c2d ~dt 1 28 28 128 128 3 3 1 1 ] );
+    ( "BMM",
+      [ Op.bmm ~dt ~b:16 ~m:128 ~n:128 ~k:64 (); Op.bmm ~dt ~b:4 ~m:256 ~n:256 ~k:128 () ] );
+  ]
+
+let find_op name =
+  let named = table9_gemm @ table9_c2d in
+  List.assoc_opt name named

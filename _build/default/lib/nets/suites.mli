@@ -1,0 +1,25 @@
+(** Operator shape suites for the paper's evaluation figures.
+
+    Channel counts are kept intrinsic-friendly (multiples of 16), matching
+    the layers the paper draws from ResNet-50, Inception-V3, VGG-16 and
+    BERT. *)
+
+module Op = Heron_tensor.Op
+
+val table9_gemm : (string * Op.t) list
+(** G1–G5 of Table 9 (fp16 for TensorCore). *)
+
+val table9_c2d : (string * Op.t) list
+(** C1–C5 of Table 9. *)
+
+val tensorcore_ops : (string * Op.t list) list
+(** Figure 6: the nine operator classes, each with several shapes. *)
+
+val dlboost_ops : (string * Op.t list) list
+(** Figure 8: the DL Boost operator suite (int8). *)
+
+val vta_ops : (string * Op.t list) list
+(** Figure 9: GEMM, C2D and BMM on VTA (int8). *)
+
+val find_op : string -> Op.t option
+(** Lookup across all named shapes (e.g. ["G3"], ["C2"]). *)

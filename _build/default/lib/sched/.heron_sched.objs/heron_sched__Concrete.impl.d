@@ -1,0 +1,1 @@
+lib/sched/concrete.ml: Buffer Heron_csp Heron_tensor List Prim Printf Template

@@ -1,0 +1,1 @@
+lib/sched/concrete.mli: Heron_csp Heron_tensor Prim Template

@@ -1,0 +1,1 @@
+lib/sched/template.ml: Buffer Heron_tensor List Prim Printf

@@ -1,0 +1,1 @@
+lib/sched/template.mli: Heron_tensor Prim

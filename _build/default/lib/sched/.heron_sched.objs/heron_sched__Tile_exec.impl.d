@@ -1,0 +1,1 @@
+lib/sched/tile_exec.ml: Array Concrete Hashtbl Heron_tensor List String

@@ -1,0 +1,1 @@
+lib/sched/tile_exec.mli: Concrete

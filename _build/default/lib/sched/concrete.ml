@@ -1,0 +1,192 @@
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+
+type cann =
+  | Plain
+  | Unrolled of int
+  | Vectorized of int
+  | Bound of Prim.thread_axis
+  | Tensorized
+
+type cloop = {
+  name : string;
+  extent : int;
+  origin : string;
+  kind : Op.iter_kind;
+  ann : cann;
+}
+
+type cstage = {
+  name : string;
+  scope : string;
+  loops : cloop list;
+  attach : (string * int) option;
+  role : Template.role;
+  align_pad : int;
+}
+
+type t = {
+  op : Op.t;
+  stages : cstage list;
+  intrin : string option;
+  assignment : Assignment.t;
+}
+
+let lookup a v =
+  match Assignment.find_opt a v with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Concrete.instantiate: unbound variable %s" v)
+
+let instantiate (tpl : Template.t) a =
+  let conv_loop (l : Template.loop) =
+    {
+      name = l.lname;
+      extent = lookup a l.extent_var;
+      origin = l.origin;
+      kind = l.kind;
+      ann =
+        (match l.ann with
+        | Template.Plain -> Plain
+        | Template.Unrolled v -> Unrolled (lookup a v)
+        | Template.Vectorized v -> Vectorized (lookup a v)
+        | Template.Bound ax -> Bound ax
+        | Template.Tensorized -> Tensorized);
+    }
+  in
+  let conv_stage (s : Template.stage) =
+    {
+      name = s.sname;
+      scope = s.scope;
+      loops = List.map conv_loop s.loops;
+      attach =
+        (match s.attach with
+        | Template.Root -> None
+        | Template.At { parent; location_var } -> Some (parent, lookup a location_var));
+      role = s.role;
+      align_pad = (match s.align_pad with None -> 0 | Some v -> lookup a v);
+    }
+  in
+  {
+    op = tpl.op;
+    stages = List.map conv_stage tpl.stages;
+    intrin = tpl.intrin;
+    assignment = a;
+  }
+
+let find_stage t name =
+  match List.find_opt (fun s -> s.name = name) t.stages with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Concrete.find_stage: no stage %s" name)
+
+let compute_stage t =
+  match List.find_opt (fun s -> s.role = Template.Compute) t.stages with
+  | Some s -> s
+  | None -> invalid_arg "Concrete.compute_stage: no compute stage"
+
+let load_stages t =
+  List.filter (fun s -> match s.role with Template.Load _ -> true | _ -> false) t.stages
+
+let stages_in_scope t scope = List.filter (fun s -> s.scope = scope) t.stages
+
+let footprint_elems s = List.fold_left (fun acc l -> acc * l.extent) 1 s.loops
+
+let footprint_bytes t s =
+  let dt =
+    match s.role with
+    | Template.Load tensor -> (
+        match List.find_opt (fun (tn : Op.tensor) -> tn.tname = tensor) t.op.inputs with
+        | Some tn -> tn.dt
+        | None -> t.op.out.dt)
+    | Template.Compute | Template.Store -> t.op.out.dt
+  in
+  (* storage_align pads each row of the innermost dimension. *)
+  let elems =
+    match List.rev s.loops with
+    | [] -> 0
+    | inner :: outers ->
+        let rows = List.fold_left (fun acc l -> acc * l.extent) 1 outers in
+        rows * (inner.extent + s.align_pad)
+  in
+  elems * Op.dtype_bytes dt
+
+let rec loop_path t s =
+  match s.attach with
+  | None -> s.loops
+  | Some (parent_name, at) ->
+      let parent = find_stage t parent_name in
+      let ancestor = loop_path t parent in
+      let own_count = List.length parent.loops in
+      let above =
+        (* Ancestor loops beyond the parent's own loops, plus the parent's
+           loops down to (and including) the attach index. *)
+        let inherited = List.filteri (fun i _ -> i < List.length ancestor - own_count) ancestor in
+        let parents = List.filteri (fun i _ -> i <= at) parent.loops in
+        inherited @ parents
+      in
+      above @ s.loops
+
+let axis_extent t ax =
+  let stage =
+    match List.find_opt (fun s -> s.role = Template.Compute) t.stages with
+    | Some s -> s
+    | None -> List.nth t.stages (List.length t.stages - 1)
+  in
+  loop_path t stage
+  |> List.filter (fun l -> l.ann = Bound ax)
+  |> List.fold_left (fun acc l -> acc * l.extent) 1
+
+let var_mnk t v =
+  match Assignment.find_opt t.assignment v with Some x -> x | None -> 1
+
+let tensorize_mnk t =
+  match t.intrin with
+  | None -> None
+  | Some _ ->
+      let m = var_mnk t "intrin_m" and n = var_mnk t "intrin_n" and k = var_mnk t "intrin_k" in
+      Some (m, n, k)
+
+let coverage_errors t =
+  let stage = compute_stage t in
+  let path = loop_path t stage in
+  List.filter_map
+    (fun (it : Op.iter) ->
+      let prod =
+        List.fold_left
+          (fun acc l -> if l.origin = it.iname then acc * l.extent else acc)
+          1 path
+      in
+      if prod = it.extent then None
+      else
+        Some
+          (Printf.sprintf "iterator %s: loops multiply to %d, extent is %d" it.iname prod
+             it.extent))
+    t.op.iters
+
+let var t v = lookup t.assignment v
+let var_opt t v = Assignment.find_opt t.assignment v
+
+let cann_to_string = function
+  | Plain -> ""
+  | Unrolled n -> Printf.sprintf " unroll(%d)" n
+  | Vectorized n -> Printf.sprintf " vectorize(%d)" n
+  | Bound ax -> " " ^ Prim.thread_axis_to_string ax
+  | Tensorized -> " tensorized"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "program of %s\n" (Op.to_string t.op));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s @%s%s\n" s.name s.scope
+           (match s.attach with
+           | None -> ""
+           | Some (p, i) -> Printf.sprintf " (at %s loop %d)" p i));
+      List.iter
+        (fun (l : cloop) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    for %s in 0..%d%s  # %s\n" l.name l.extent
+               (cann_to_string l.ann) l.origin))
+        s.loops)
+    t.stages;
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+(** Concrete programs: a schedule template instantiated with one valid CSP
+    assignment. This is what the DLA validator, performance models and tile
+    executor consume. *)
+
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+
+type cann =
+  | Plain
+  | Unrolled of int
+  | Vectorized of int
+  | Bound of Prim.thread_axis
+  | Tensorized
+
+type cloop = {
+  name : string;
+  extent : int;
+  origin : string;
+  kind : Op.iter_kind;
+  ann : cann;
+}
+
+type cstage = {
+  name : string;
+  scope : string;
+  loops : cloop list;  (** outer to inner *)
+  attach : (string * int) option;  (** parent stage, attach loop index *)
+  role : Template.role;
+  align_pad : int;  (** storage_align padding in elements, 0 if none *)
+}
+
+type t = {
+  op : Op.t;
+  stages : cstage list;
+  intrin : string option;
+  assignment : Assignment.t;
+}
+
+val instantiate : Template.t -> Assignment.t -> t
+(** @raise Invalid_argument when the assignment lacks a template variable. *)
+
+val find_stage : t -> string -> cstage
+val compute_stage : t -> cstage
+val load_stages : t -> cstage list
+val stages_in_scope : t -> string -> cstage list
+
+val footprint_elems : cstage -> int
+(** Tile size of a stage: product of its loop extents. *)
+
+val footprint_bytes : t -> cstage -> int
+(** Tile size in bytes, including storage_align padding. Load stages use the
+    dtype of the tensor they load; other stages use the output dtype. *)
+
+val loop_path : t -> cstage -> cloop list
+(** All loops enclosing the stage's body: ancestor loops above the attach
+    point (outermost first) followed by the stage's own loops. *)
+
+val axis_extent : t -> Prim.thread_axis -> int
+(** Product over all stages' loops bound to the given thread axis
+    (counting each binding variable once via the compute/store path). *)
+
+val tensorize_mnk : t -> (int * int * int) option
+(** The intrinsic tile shape, when the program is tensorized. *)
+
+val coverage_errors : t -> string list
+(** For each original operator iterator, checks that the loops derived from
+    it (on the compute stage's loop path) multiply back to its extent;
+    returns human-readable mismatches. Empty means the program covers the
+    iteration space exactly. *)
+
+val var : t -> string -> int
+(** Value of a CSP variable in the underlying assignment. *)
+
+val var_opt : t -> string -> int option
+
+val to_string : t -> string

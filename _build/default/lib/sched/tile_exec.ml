@@ -1,0 +1,85 @@
+module Op = Heron_tensor.Op
+module Expr = Heron_tensor.Expr
+module Ref_exec = Heron_tensor.Ref_exec
+
+let run (prog : Concrete.t) inputs =
+  match Concrete.coverage_errors prog with
+  | _ :: _ as errs -> Error (String.concat "; " errs)
+  | [] -> (
+      let op = prog.op in
+      match op.body with
+      | Op.Scan _ | Op.Copy _ ->
+          (* Non-contraction bodies have no tiled structure worth walking;
+             defer to the reference semantics. *)
+          Ok (Ref_exec.run op inputs)
+      | Op.Contract (a, b) ->
+          let stage = Concrete.compute_stage prog in
+          let path = Array.of_list (Concrete.loop_path prog stage) in
+          let n_loops = Array.length path in
+          let counters = Array.make n_loops 0 in
+          (* Per original iterator: the positions of its loops in the path,
+             outer to inner, and the radix (extent) of each. *)
+          let iter_loops =
+            List.map
+              (fun (it : Op.iter) ->
+                let positions = ref [] in
+                Array.iteri
+                  (fun i (l : Concrete.cloop) ->
+                    if l.origin = it.iname then positions := i :: !positions)
+                  path;
+                (it.iname, List.rev !positions))
+              op.iters
+          in
+          let index_of positions =
+            List.fold_left
+              (fun acc p -> (acc * path.(p).Concrete.extent) + counters.(p))
+              0 positions
+          in
+          let values = Hashtbl.create 16 in
+          let env name =
+            match Hashtbl.find_opt values name with
+            | Some v -> v
+            | None -> 0
+          in
+          let out = Array.make (Op.numel op.out) 0.0 in
+          let flat_index shape idx =
+            let rec loop acc shape idx =
+              match (shape, idx) with
+              | [], [] -> Some acc
+              | d :: shape', i :: idx' ->
+                  if i < 0 || i >= d then None else loop ((acc * d) + i) shape' idx'
+              | _ -> invalid_arg "Tile_exec: rank mismatch"
+            in
+            loop 0 shape idx
+          in
+          let read (acc : Op.access) =
+            if List.for_all (fun (e, m) -> Expr.eval env e mod m = 0) acc.guards then
+              match flat_index acc.src.shape (List.map (Expr.eval env) acc.idx) with
+              | None -> 0.0
+              | Some i -> (List.assoc acc.src.tname inputs).(i)
+            else 0.0
+          in
+          let body () =
+            List.iter (fun (name, positions) -> Hashtbl.replace values name (index_of positions))
+              iter_loops;
+            let out_idx = List.map (Expr.eval env) op.out_idx in
+            match flat_index op.out.shape out_idx with
+            | None -> ()
+            | Some oi -> out.(oi) <- out.(oi) +. (read a *. read b)
+          in
+          let rec walk d =
+            if d >= n_loops then body ()
+            else
+              for v = 0 to path.(d).Concrete.extent - 1 do
+                counters.(d) <- v;
+                walk (d + 1)
+              done
+          in
+          walk 0;
+          (* Fused epilogues apply once the reduction is complete. *)
+          (match op.Op.post with
+          | Some p ->
+              let f = Op.apply_post p in
+              Array.iteri (fun i v -> out.(i) <- f v) out
+          | None -> ());
+          Ok out)

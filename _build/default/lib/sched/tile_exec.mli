@@ -1,0 +1,13 @@
+(** Numeric execution of a concrete (scheduled) program.
+
+    Walks the compute stage's full loop nest — block loops, thread loops,
+    tile loops, tensorized intrinsic loops — reconstructing each original
+    iterator's index from the loops derived from it (mixed-radix, outer to
+    inner), and evaluates the contraction. Comparing the result against
+    {!Heron_tensor.Ref_exec} validates end-to-end that a CSP solution
+    instantiates to a semantically correct program. Test shapes only. *)
+
+val run : Concrete.t -> (string * float array) list -> (float array, string) result
+(** [run prog inputs] returns the output buffer, or [Error reason] when the
+    program does not cover the iteration space or the operator body is not
+    a contraction/copy/scan. *)

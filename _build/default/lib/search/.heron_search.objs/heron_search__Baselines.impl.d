@@ -1,0 +1,1 @@
+lib/search/baselines.ml: Array Env Heron_csp Heron_util List

@@ -1,0 +1,1 @@
+lib/search/cga.ml: Array Env Hashtbl Heron_cost Heron_csp Heron_util List Sys

@@ -1,0 +1,1 @@
+lib/search/cga.mli: Env Heron_cost Heron_csp Heron_util

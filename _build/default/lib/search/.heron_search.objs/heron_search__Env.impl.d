@@ -1,0 +1,1 @@
+lib/search/env.ml: Hashtbl Heron_csp Heron_util List

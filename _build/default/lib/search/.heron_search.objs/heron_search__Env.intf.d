@@ -1,0 +1,1 @@
+lib/search/env.mli: Heron_csp Heron_util

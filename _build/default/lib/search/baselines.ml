@@ -1,0 +1,235 @@
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Domain = Heron_csp.Domain
+module Solver = Heron_csp.Solver
+module Rng = Heron_util.Rng
+
+let random_search env ~budget =
+  let rec_ = Env.Recorder.create env ~budget in
+  let continue = ref true in
+  while !continue && not (Env.Recorder.exhausted rec_) do
+    match Solver.solve env.Env.rng env.Env.problem with
+    | Some a -> ignore (Env.Recorder.eval rec_ a)
+    | None -> continue := false
+  done;
+  Env.Recorder.finish rec_
+
+(* Variables a concrete-chromosome searcher is allowed to flip. *)
+let mutable_vars problem =
+  match Problem.vars_of_category problem Problem.Tunable with
+  | [] -> Array.to_list (Problem.vars problem)
+  | vs -> vs
+
+let mutate_one rng problem a =
+  let vars = Array.of_list (mutable_vars problem) in
+  let v = Rng.choice rng vars in
+  Assignment.set a v (Domain.random rng (Problem.domain problem v))
+
+type sa_params = {
+  initial_temp : float;
+  cooling : float;
+  moves_per_step : int;
+  restart_after : int;  (** steps without improvement before a fresh start *)
+}
+
+let default_sa_params =
+  { initial_temp = 1.0; cooling = 0.995; moves_per_step = 1; restart_after = 15 }
+
+let simulated_annealing ?(params = default_sa_params) env ~budget =
+  let rec_ = Env.Recorder.create env ~budget in
+  match Solver.solve env.Env.rng env.Env.problem with
+  | None -> Env.Recorder.finish rec_
+  | Some start ->
+      let current = ref start in
+      let current_fit = ref (Env.score (Env.Recorder.eval rec_ !current)) in
+      let temp = ref params.initial_temp in
+      let stuck = ref 0 in
+      while not (Env.Recorder.exhausted rec_) do
+        let neighbor = ref !current in
+        for _ = 1 to params.moves_per_step do
+          neighbor := mutate_one env.Env.rng env.Env.problem !neighbor
+        done;
+        let fit = Env.score (Env.Recorder.eval rec_ !neighbor) in
+        let accept =
+          fit > !current_fit
+          || Rng.float env.Env.rng < exp ((fit -. !current_fit) /. max !temp 1e-9)
+        in
+        if fit > !current_fit then stuck := 0 else incr stuck;
+        if accept then begin
+          current := !neighbor;
+          current_fit := fit
+        end;
+        (* A dead neighborhood (e.g. stranded in the invalid region of a
+           relaxed space) triggers a fresh random start. *)
+        if !stuck >= params.restart_after then begin
+          (match Solver.solve env.Env.rng env.Env.problem with
+          | Some fresh ->
+              current := fresh;
+              current_fit := Env.score (Env.Recorder.eval rec_ !current)
+          | None -> ());
+          stuck := 0
+        end;
+        temp := !temp *. params.cooling
+      done;
+      Env.Recorder.finish rec_
+
+type ga_params = { pop_size : int; mutation_rate : float; elite : int }
+
+let default_ga_params = { pop_size = 24; mutation_rate = 0.05; elite = 4 }
+
+let uniform_roulette rng scored n =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
+  Array.init n (fun _ ->
+      if total <= 0.0 then fst (Rng.choice rng scored)
+      else begin
+        let target = Rng.float rng *. total in
+        let acc = ref 0.0 and chosen = ref (fst scored.(0)) in
+        (try
+           Array.iter
+             (fun (a, w) ->
+               acc := !acc +. w;
+               if !acc >= target then begin
+                 chosen := a;
+                 raise Exit
+               end)
+             scored
+         with Exit -> ());
+        !chosen
+      end)
+
+(* Single-point crossover over the declaration-ordered variable vector. *)
+let crossover rng problem a b =
+  let vars = Problem.vars problem in
+  let cut = Rng.int rng (Array.length vars) in
+  let bindings =
+    Array.to_list
+      (Array.mapi
+         (fun i v ->
+           let src = if i <= cut then a else b in
+           match Assignment.find_opt src v with
+           | Some x -> (v, x)
+           | None -> (v, Domain.min_value (Problem.domain problem v)))
+         vars)
+  in
+  Assignment.of_list bindings
+
+let mutate rng problem rate a =
+  List.fold_left
+    (fun acc v ->
+      if Rng.float rng < rate then
+        Assignment.set acc v (Domain.random rng (Problem.domain problem v))
+      else acc)
+    a (mutable_vars problem)
+
+(* Shared GA skeleton parameterized by the survivor-selection policy and an
+   optional offspring repair step. *)
+let ga_loop ?(repair = fun _env a -> a) ~select ?(params = default_ga_params) env ~budget =
+  let rec_ = Env.Recorder.create env ~budget in
+  let init = Solver.rand_sat env.Env.rng env.Env.problem params.pop_size in
+  if init = [] then Env.Recorder.finish rec_
+  else begin
+    let evaluate pop = List.map (fun a -> (a, Env.Recorder.eval rec_ a)) pop in
+    let pop = ref (evaluate init) in
+    while not (Env.Recorder.exhausted rec_) do
+      let scored =
+        Array.of_list (List.map (fun (a, l) -> (a, Env.score l)) !pop)
+      in
+      let parents = uniform_roulette env.Env.rng scored params.pop_size in
+      let n_children = max 1 (params.pop_size - params.elite) in
+      let children =
+        List.init n_children (fun _ ->
+            let a = Rng.choice env.Env.rng parents and b = Rng.choice env.Env.rng parents in
+            let child = crossover env.Env.rng env.Env.problem a b in
+            let child = mutate env.Env.rng env.Env.problem params.mutation_rate child in
+            repair env child)
+      in
+      let child_scores = evaluate children in
+      let merged = child_scores @ !pop in
+      pop := select env merged params.pop_size
+    done;
+    Env.Recorder.finish rec_
+  end
+
+(* Plain GA: keep the best by fitness (invalid = 0). *)
+let select_by_fitness _env merged n =
+  List.sort (fun (_, x) (_, y) -> compare (Env.score y) (Env.score x)) merged
+  |> List.filteri (fun i _ -> i < n)
+
+let genetic ?params env ~budget = ga_loop ~select:select_by_fitness ?params env ~budget
+
+(* GA-1: stochastic ranking (Runarsson & Yao). A bubble-sort sweep where
+   adjacent pairs are compared by fitness with probability pf when either
+   violates constraints, by violation count otherwise. *)
+let stochastic_rank rng pf scored =
+  let arr = Array.of_list scored in
+  let n = Array.length arr in
+  let fitness (_, l) = Env.score l in
+  let viol (a, _) = a in
+  for _sweep = 1 to n do
+    for i = 0 to n - 2 do
+      let (v1, x1) = arr.(i) and (v2, x2) = arr.(i + 1) in
+      let both_feasible = fst v1 = 0 && fst v2 = 0 in
+      let by_fitness = both_feasible || Rng.float rng < pf in
+      let swap =
+        if by_fitness then fitness (snd v1, x1) < fitness (snd v2, x2)
+        else fst (viol (v1, x1)) > fst (viol (v2, x2))
+      in
+      if swap then begin
+        arr.(i) <- (v2, x2);
+        arr.(i + 1) <- (v1, x1)
+      end
+    done
+  done;
+  Array.to_list arr
+
+let ga_stochastic_ranking ?params ?(pf = 0.45) env ~budget =
+  let select env merged n =
+    let annotated =
+      List.map
+        (fun (a, l) -> ((Problem.violations env.Env.problem a, a), l))
+        merged
+    in
+    stochastic_rank env.Env.rng pf annotated
+    |> List.filteri (fun i _ -> i < n)
+    |> List.map (fun ((_, a), l) -> (a, l))
+  in
+  ga_loop ~select ?params env ~budget
+
+(* GA-2: SAT-decoder — repair each offspring into a valid assignment by a
+   biased CSP solve. *)
+let ga_sat_decoder ?params env ~budget =
+  let repair env child =
+    match Solver.solve_biased ~max_fails:400 env.Env.rng env.Env.problem child with
+    | Some decoded -> decoded
+    | None -> child
+  in
+  ga_loop ~repair ~select:select_by_fitness ?params env ~budget
+
+(* GA-3: multi-objective — Pareto dominance on (fitness up, violations
+   down), selected by repeated non-dominated filtering. *)
+let ga_multi_objective ?params env ~budget =
+  let select env merged n =
+    let items =
+      List.map
+        (fun (a, l) -> (a, l, Env.score l, Problem.violations env.Env.problem a))
+        merged
+    in
+    let dominates (_, _, f1, v1) (_, _, f2, v2) =
+      (f1 >= f2 && v1 <= v2) && (f1 > f2 || v1 < v2)
+    in
+    let rec fronts remaining acc =
+      if remaining = [] then List.rev acc
+      else
+        let nd =
+          List.filter
+            (fun x -> not (List.exists (fun y -> y != x && dominates y x) remaining))
+            remaining
+        in
+        let nd = if nd = [] then remaining else nd in
+        let rest = List.filter (fun x -> not (List.memq x nd)) remaining in
+        fronts rest (nd :: acc)
+    in
+    let ordered = List.concat (fronts items []) in
+    ordered |> List.filteri (fun i _ -> i < n) |> List.map (fun (a, l, _, _) -> (a, l))
+  in
+  ga_loop ~select ?params env ~budget

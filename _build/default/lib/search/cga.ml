@@ -1,0 +1,199 @@
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Cons = Heron_csp.Cons
+module Solver = Heron_csp.Solver
+module Model = Heron_cost.Model
+module Rng = Heron_util.Rng
+
+type key_selection = By_model | Random_keys
+
+type params = {
+  pop_size : int;
+  generations : int;
+  batch : int;
+  epsilon : float;
+  top_k : int;
+  survivors : int;
+  key_selection : key_selection;
+  mutation : bool;
+}
+
+let default_params =
+  {
+    pop_size = 32;
+    generations = 3;
+    batch = 16;
+    epsilon = 0.15;
+    top_k = 8;
+    survivors = 16;
+    key_selection = By_model;
+    mutation = true;
+  }
+
+type outcome = {
+  result : Env.result;
+  model : Model.t;
+  time_search_s : float;
+  time_model_s : float;
+  time_measure_s : float;
+}
+
+let crossover_csps ?(mutation = true) rng problem ~keys ~parents ~n =
+  if Array.length parents < 2 then []
+  else
+    List.init n (fun _ ->
+        let c1 = Rng.choice rng parents and c2 = Rng.choice rng parents in
+        let constraints =
+          List.filter_map
+            (fun v ->
+              match (Assignment.find_opt c1 v, Assignment.find_opt c2 v) with
+              | Some a, Some b -> Some (Cons.In (v, List.sort_uniq compare [ a; b ]))
+              | _ -> None)
+            keys
+        in
+        let constraints =
+          if mutation && constraints <> [] then begin
+            let drop = Rng.int rng (List.length constraints) in
+            List.filteri (fun i _ -> i <> drop) constraints
+          end
+          else constraints
+        in
+        Problem.with_extra problem constraints)
+
+(* Roulette-wheel selection on predicted fitness scores. *)
+let roulette rng scored n =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
+  if total <= 0.0 then Array.init n (fun _ -> fst (Rng.choice rng scored))
+  else
+    Array.init n (fun _ ->
+        let target = Rng.float rng *. total in
+        let acc = ref 0.0 and chosen = ref (fst scored.(0)) in
+        (try
+           Array.iter
+             (fun (a, w) ->
+               acc := !acc +. w;
+               if !acc >= target then begin
+                 chosen := a;
+                 raise Exit
+               end)
+             scored
+         with Exit -> ());
+        !chosen)
+
+let dedupe assignments =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun a ->
+      let k = Assignment.key a in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    assignments
+
+let run ?(params = default_params) env ~budget =
+  (* At small budgets, shrink the measurement batch so the cost model still
+     sees several train/predict rounds. *)
+  let params =
+    { params with batch = min params.batch (max 4 (budget / 8)) }
+  in
+  let rec_ = Env.Recorder.create env ~budget in
+  let model = Model.create env.Env.problem in
+  let time_search = ref 0.0 and time_model = ref 0.0 and time_measure = ref 0.0 in
+  let timed acc f =
+    let t0 = Sys.time () in
+    let x = f () in
+    acc := !acc +. (Sys.time () -. t0);
+    x
+  in
+  let survivors = ref [] in
+  (* Iterate until the measurement budget is exhausted (Algorithm 2). A few
+     consecutive iterations without any fresh candidate mean the space is
+     effectively enumerated. *)
+  let continue = ref true in
+  let dry_iterations = ref 0 in
+  while !continue && not (Env.Recorder.exhausted rec_) do
+    (* Step 1: first generation = random valid assignments + survivors. *)
+    let pop0 =
+      timed time_search (fun () ->
+          let need = max 2 (params.pop_size - List.length !survivors) in
+          Solver.rand_sat env.Env.rng env.Env.problem need @ List.map fst !survivors)
+    in
+    if pop0 = [] then continue := false
+    else begin
+      let predict a = max (Model.predict model a) 1e-6 in
+      (* Step 2: evolve on CSPs for several generations. *)
+      let pop = ref (dedupe pop0) in
+      timed time_search (fun () ->
+          for _g = 1 to params.generations do
+            let scored = Array.of_list (List.map (fun a -> (a, predict a)) !pop) in
+            let chosen = roulette env.Env.rng scored params.pop_size in
+            (* Elitism: every current survivor stays in the crossover pool. *)
+            let parents = Array.append chosen (Array.of_list (List.map fst !survivors)) in
+            let keys =
+              match params.key_selection with
+              | By_model -> Model.key_variables model params.top_k
+              | Random_keys ->
+                  let all = Array.copy (Problem.vars env.Env.problem) in
+                  Rng.shuffle env.Env.rng all;
+                  Array.to_list (Array.sub all 0 (min params.top_k (Array.length all)))
+            in
+            let csps =
+              crossover_csps ~mutation:params.mutation env.Env.rng env.Env.problem ~keys
+                ~parents ~n:params.pop_size
+            in
+            let children =
+              List.filter_map
+                (fun csp -> Solver.solve ~max_fails:400 ~max_restarts:0 env.Env.rng csp)
+                csps
+            in
+            pop := dedupe (children @ !pop)
+          done);
+      (* Step 3: epsilon-greedy selection of the measurement batch. *)
+      let fresh =
+        List.filter (fun a -> not (Env.Recorder.seen rec_ a)) !pop
+        |> List.map (fun a -> (a, predict a))
+        |> List.sort (fun (_, x) (_, y) -> compare y x)
+      in
+      let batch_n = min params.batch (Env.Recorder.steps_left rec_) in
+      let n_explore =
+        int_of_float (ceil (params.epsilon *. float_of_int batch_n))
+      in
+      let n_exploit = max 0 (batch_n - n_explore) in
+      let top = List.filteri (fun i _ -> i < n_exploit) fresh |> List.map fst in
+      let rest = List.filteri (fun i _ -> i >= n_exploit) fresh |> List.map fst in
+      let explore = Rng.sample env.Env.rng rest n_explore in
+      let chosen = top @ explore in
+      if chosen = [] then begin
+        incr dry_iterations;
+        if !dry_iterations >= 3 then continue := false
+      end
+      else begin
+        dry_iterations := 0;
+        let measured =
+          List.map
+            (fun a -> (a, timed time_measure (fun () -> Env.Recorder.eval rec_ a)))
+            chosen
+        in
+        (* Step 4: update the cost model on the measured scores. *)
+        timed time_model (fun () ->
+            List.iter (fun (a, l) -> Model.record model a (Env.score l)) measured;
+            Model.refit model);
+        let valid =
+          List.filter_map (fun (a, l) -> match l with Some v -> Some (a, v) | None -> None)
+            measured
+        in
+        survivors :=
+          List.sort (fun (_, x) (_, y) -> compare x y) (valid @ !survivors)
+          |> List.filteri (fun i _ -> i < params.survivors)
+      end
+    end
+  done;
+  {
+    result = Env.Recorder.finish rec_;
+    model;
+    time_search_s = !time_search;
+    time_model_s = !time_model;
+    time_measure_s = !time_measure;
+  }

@@ -1,0 +1,48 @@
+(** The constraint-based genetic algorithm (paper Algorithms 2 and 3).
+
+    CGA evolves constraint satisfaction problems rather than concrete
+    chromosomes: crossover adds IN-constraints binding each key variable to
+    one of its parents' values, mutation drops one such constraint, and a
+    CSP solver materializes offspring — so every offspring satisfies
+    [CSP_initial] by construction. *)
+
+module Assignment = Heron_csp.Assignment
+module Model = Heron_cost.Model
+
+type key_selection = By_model | Random_keys
+(** How key variables are chosen: by cost-model feature importance (CGA) or
+    uniformly at random (the paper's CGA-1 ablation). *)
+
+type params = {
+  pop_size : int;
+  generations : int;  (** evolution generations per exploration iteration *)
+  batch : int;  (** hardware measurements per iteration *)
+  epsilon : float;  (** fraction of the batch chosen at random *)
+  top_k : int;  (** number of key variables for crossover *)
+  survivors : int;  (** best measured assignments seeding the next iteration *)
+  key_selection : key_selection;
+  mutation : bool;  (** whether to drop one crossover constraint *)
+}
+
+val default_params : params
+
+type outcome = {
+  result : Env.result;
+  model : Model.t;
+  time_search_s : float;  (** CGA evolution time, CSP solving included *)
+  time_model_s : float;  (** cost-model training time *)
+  time_measure_s : float;  (** DLA measurement time *)
+}
+
+val run : ?params:params -> Env.t -> budget:int -> outcome
+
+val crossover_csps :
+  ?mutation:bool ->
+  Heron_util.Rng.t ->
+  Heron_csp.Problem.t ->
+  keys:string list ->
+  parents:Assignment.t array ->
+  n:int ->
+  Heron_csp.Problem.t list
+(** The constraint-based crossover + mutation operator alone (Algorithm 3),
+    exposed for tests and the playground example. *)

@@ -1,0 +1,87 @@
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+
+type t = {
+  problem : Problem.t;
+  measure : Assignment.t -> float option;
+  rng : Heron_util.Rng.t;
+}
+
+type point = { step : int; latency : float option; best : float option }
+
+type result = {
+  best_latency : float option;
+  best_assignment : Assignment.t option;
+  trace : point list;
+  invalid : int;
+}
+
+let score_of_latency l = 1000.0 /. l
+
+let score = function None -> 0.0 | Some l -> score_of_latency l
+
+module Recorder = struct
+  type r = {
+    env : t;
+    budget : int;
+    cache : (string, float option) Hashtbl.t;
+    mutable steps : int;
+    mutable evals : int;  (* total eval calls, cached replays included *)
+    mutable best : float option;
+    mutable best_a : Assignment.t option;
+    mutable trace_rev : point list;
+    mutable invalid : int;
+  }
+
+  let create env ~budget =
+    {
+      env;
+      budget;
+      cache = Hashtbl.create 256;
+      steps = 0;
+      evals = 0;
+      best = None;
+      best_a = None;
+      trace_rev = [];
+      invalid = 0;
+    }
+
+  (* The secondary cap bounds searchers whose populations converge onto
+     already-measured configurations (replays are free in budget terms but
+     must not allow an infinite loop). *)
+  let exhausted r = r.steps >= r.budget || r.evals >= 50 * r.budget
+  let steps_left r = max 0 (r.budget - r.steps)
+
+  let seen r a = Hashtbl.mem r.cache (Assignment.key a)
+
+  let eval r a =
+    r.evals <- r.evals + 1;
+    let key = Assignment.key a in
+    match Hashtbl.find_opt r.cache key with
+    | Some l -> l
+    | None ->
+        if exhausted r then None
+        else begin
+          let l = r.env.measure a in
+          Hashtbl.replace r.cache key l;
+          r.steps <- r.steps + 1;
+          (match l with
+          | None -> r.invalid <- r.invalid + 1
+          | Some lat ->
+              let better = match r.best with None -> true | Some b -> lat < b in
+              if better then begin
+                r.best <- Some lat;
+                r.best_a <- Some a
+              end);
+          r.trace_rev <- { step = r.steps; latency = l; best = r.best } :: r.trace_rev;
+          l
+        end
+
+  let finish r =
+    {
+      best_latency = r.best;
+      best_assignment = r.best_a;
+      trace = List.rev r.trace_rev;
+      invalid = r.invalid;
+    }
+end

@@ -1,0 +1,52 @@
+(** The search environment: everything an exploration algorithm needs,
+    independent of how programs are built or measured. *)
+
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+
+type t = {
+  problem : Problem.t;  (** the constrained space, [CSP_initial] *)
+  measure : Assignment.t -> float option;
+      (** hardware measurement: average latency in microseconds, or [None]
+          when the program is invalid (fails to compile or run) *)
+  rng : Heron_util.Rng.t;
+}
+
+type point = {
+  step : int;  (** 1-based exploration step *)
+  latency : float option;  (** this step's measurement *)
+  best : float option;  (** best latency after this step *)
+}
+
+type result = {
+  best_latency : float option;
+  best_assignment : Assignment.t option;
+  trace : point list;  (** in step order *)
+  invalid : int;  (** number of invalid candidates explored *)
+}
+
+val score_of_latency : float -> float
+(** Fitness score of a measured latency (higher is better). *)
+
+val score : float option -> float
+(** Fitness of a measurement outcome; invalid programs score 0. *)
+
+(** Mutable bookkeeping shared by all searchers: counts steps, maintains
+    the trace and the incumbent, and caches measurements by assignment so
+    revisiting a configuration costs no extra hardware trial. *)
+module Recorder : sig
+  type r
+
+  val create : t -> budget:int -> r
+  val exhausted : r -> bool
+  val steps_left : r -> int
+
+  val eval : r -> Assignment.t -> float option
+  (** Measures (or replays from cache) and records one exploration step.
+      Returns the latency. Cached replays do not consume budget, but a
+      secondary cap (50x budget total evaluations) guarantees termination
+      for searchers that converge onto already-measured points. *)
+
+  val seen : r -> Assignment.t -> bool
+  val finish : r -> result
+end

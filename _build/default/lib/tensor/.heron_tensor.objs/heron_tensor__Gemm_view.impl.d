@@ -1,0 +1,1 @@
+lib/tensor/gemm_view.ml: Expr List Op Printf String

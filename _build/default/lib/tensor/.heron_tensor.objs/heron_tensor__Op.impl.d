@@ -1,0 +1,1 @@
+lib/tensor/op.ml: Expr List Printf String

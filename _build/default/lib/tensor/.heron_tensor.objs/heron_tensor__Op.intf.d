@@ -1,0 +1,1 @@
+lib/tensor/op.mli: Expr

@@ -1,0 +1,1 @@
+lib/tensor/ref_exec.ml: Array Expr Hashtbl List Op Printf

@@ -1,0 +1,1 @@
+lib/tensor/ref_exec.mli: Op

@@ -1,0 +1,38 @@
+type t =
+  | Var of string
+  | Const of int
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+
+let var s = Var s
+let const n = Const n
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+
+let rec eval env = function
+  | Var s -> env s
+  | Const n -> n
+  | Add (a, b) -> Stdlib.( + ) (eval env a) (eval env b)
+  | Sub (a, b) -> Stdlib.( - ) (eval env a) (eval env b)
+  | Mul (a, b) -> Stdlib.( * ) (eval env a) (eval env b)
+  | Div (a, b) -> Stdlib.( / ) (eval env a) (eval env b)
+
+let vars e =
+  let rec collect acc = function
+    | Var s -> s :: acc
+    | Const _ -> acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> collect (collect acc a) b
+  in
+  List.sort_uniq compare (collect [] e)
+
+let rec to_string = function
+  | Var s -> s
+  | Const n -> string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_string a) (to_string b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_string a) (to_string b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_string a) (to_string b)
+  | Div (a, b) -> Printf.sprintf "(%s / %s)" (to_string a) (to_string b)

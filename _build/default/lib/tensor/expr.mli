@@ -1,0 +1,28 @@
+(** Integer index expressions used by tensor accesses.
+
+    Expressions are built over iterator names and constants; they are the
+    affine (plus division, for transposed convolution) indices with which a
+    compute stage reads its operands. *)
+
+type t =
+  | Var of string
+  | Const of int
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** integer division, used by strided/transposed accesses *)
+
+val var : string -> t
+val const : int -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+val eval : (string -> int) -> t -> int
+(** [eval env e] evaluates [e], looking iterator values up in [env]. *)
+
+val vars : t -> string list
+(** Sorted, deduplicated iterator names occurring in the expression. *)
+
+val to_string : t -> string

@@ -1,0 +1,68 @@
+type t = {
+  batch_iters : string list;
+  m_iters : string list;
+  n_iters : string list;
+  k_iters : string list;
+  batch : int;
+  m : int;
+  n : int;
+  k : int;
+}
+
+let access_vars (a : Op.access) =
+  List.concat_map Expr.vars a.idx |> List.sort_uniq compare
+
+let infer (op : Op.t) =
+  match op.body with
+  | Op.Copy _ | Op.Scan _ -> None
+  | Op.Contract (a, b) ->
+      let va = access_vars a and vb = access_vars b in
+      let mem v l = List.mem v l in
+      let classify (it : Op.iter) =
+        match it.kind with
+        | Op.Reduction -> `K
+        | Op.Spatial ->
+            let ina = mem it.iname va and inb = mem it.iname vb in
+            if ina && inb then `Batch else if inb then `N else `M
+      in
+      let batch_iters = ref [] and m_iters = ref [] and n_iters = ref [] and k_iters = ref [] in
+      List.iter
+        (fun it ->
+          match classify it with
+          | `Batch -> batch_iters := it.Op.iname :: !batch_iters
+          | `M -> m_iters := it.iname :: !m_iters
+          | `N -> n_iters := it.iname :: !n_iters
+          | `K -> k_iters := it.iname :: !k_iters)
+        op.iters;
+      let extent_prod names =
+        List.fold_left (fun acc n -> acc * (Op.find_iter op n).extent) 1 names
+      in
+      let batch_iters = List.rev !batch_iters
+      and m_iters = List.rev !m_iters
+      and n_iters = List.rev !n_iters
+      and k_iters = List.rev !k_iters in
+      Some
+        {
+          batch_iters;
+          m_iters;
+          n_iters;
+          k_iters;
+          batch = extent_prod batch_iters;
+          m = extent_prod m_iters;
+          n = extent_prod n_iters;
+          k = extent_prod k_iters;
+        }
+
+let to_string v =
+  Printf.sprintf "gemm-view{batch=%d m=%d n=%d k=%d; M=[%s] N=[%s] K=[%s]}" v.batch v.m v.n
+    v.k
+    (String.concat "," v.m_iters)
+    (String.concat "," v.n_iters)
+    (String.concat "," v.k_iters)
+
+let derived_op (op : Op.t) v =
+  let derived =
+    if v.batch > 1 then Op.bmm ~dt:(List.hd op.inputs).Op.dt ~b:v.batch ~m:v.m ~n:v.n ~k:v.k ()
+    else Op.gemm ~dt:(List.hd op.inputs).Op.dt ~m:v.m ~n:(max v.n 1) ~k:v.k ()
+  in
+  { derived with Op.cname = op.cname ^ "/im2col"; Op.flops = op.flops; Op.post = op.post }

@@ -1,0 +1,32 @@
+(** Implicit-GEMM analysis of a compute (the paper's [Tensorizable]
+    condition, Rule S1).
+
+    A contraction of two operands can be mapped onto a matrix-multiply
+    intrinsic by classifying its iterators: spatial iterators read only by
+    the first operand form the M side, spatial iterators read only by the
+    second operand form the N side, spatial iterators read by both are
+    batch dimensions, and reduction iterators form the K side. For
+    convolutions this is exactly the im2col mapping. *)
+
+type t = {
+  batch_iters : string list;
+  m_iters : string list;
+  n_iters : string list;
+  k_iters : string list;
+  batch : int;  (** product of batch iterator extents *)
+  m : int;
+  n : int;
+  k : int;
+}
+
+val infer : Op.t -> t option
+(** [infer op] is [Some view] when [op] is a two-operand contraction
+    (hence mappable onto a GEMM intrinsic), [None] otherwise (e.g. scan). *)
+
+val to_string : t -> string
+
+val derived_op : Op.t -> t -> Op.t
+(** [derived_op op view] is the implicit-GEMM operator (a plain GEMM, or a
+    BMM when batch iterators exist) whose iteration space is the im2col
+    flattening of [op]. Its [flops] field keeps the original operator's
+    nominal flop count so that utilization losses remain visible. *)

@@ -1,0 +1,51 @@
+let gemm ~m ~n ~k a b =
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for r = 0 to k - 1 do
+        acc := !acc +. (a.((i * k) + r) *. b.((r * n) + j))
+      done;
+      out.((i * n) + j) <- !acc
+    done
+  done;
+  out
+
+let conv2d ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad x wt =
+  let oh = Op.conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad ~dilation:1 in
+  let ow = Op.conv_out_dim ~in_dim:w ~kernel:kw ~stride ~pad ~dilation:1 in
+  let out = Array.make (n * co * oh * ow) 0.0 in
+  for bn = 0 to n - 1 do
+    for oc = 0 to co - 1 do
+      for y = 0 to oh - 1 do
+        for x0 = 0 to ow - 1 do
+          let acc = ref 0.0 in
+          for ic = 0 to ci - 1 do
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let iy = (y * stride) + ky - pad and ix = (x0 * stride) + kx - pad in
+                if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                  acc :=
+                    !acc
+                    +. x.((((((bn * ci) + ic) * h) + iy) * w) + ix)
+                       *. wt.((((((oc * ci) + ic) * kh) + ky) * kw) + kx)
+              done
+            done
+          done;
+          out.((((((bn * co) + oc) * oh) + y) * ow) + x0) <- !acc
+        done
+      done
+    done
+  done;
+  out
+
+let prefix_sum ~b ~l x =
+  let out = Array.make (b * l) 0.0 in
+  for i = 0 to b - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to l - 1 do
+      acc := !acc +. x.((i * l) + j);
+      out.((i * l) + j) <- !acc
+    done
+  done;
+  out

@@ -1,0 +1,12 @@
+(** Direct, hand-written kernels used to cross-check the generic reference
+    interpreter in tests. *)
+
+val gemm : m:int -> n:int -> k:int -> float array -> float array -> float array
+(** [gemm ~m ~n ~k a b] with [a] of size m*k and [b] of size k*n. *)
+
+val conv2d :
+  n:int -> ci:int -> h:int -> w:int -> co:int -> kh:int -> kw:int -> stride:int -> pad:int ->
+  float array -> float array -> float array
+(** NCHW convolution matching {!Op.conv2d} with dilation 1. *)
+
+val prefix_sum : b:int -> l:int -> float array -> float array

@@ -1,0 +1,264 @@
+type dtype = F16 | F32 | I8 | I32
+
+let dtype_bytes = function F16 -> 2 | F32 -> 4 | I8 -> 1 | I32 -> 4
+let dtype_to_string = function F16 -> "f16" | F32 -> "f32" | I8 -> "i8" | I32 -> "i32"
+
+type iter_kind = Spatial | Reduction
+
+type iter = { iname : string; extent : int; kind : iter_kind }
+
+type tensor = { tname : string; shape : int list; dt : dtype }
+
+let numel t = List.fold_left ( * ) 1 t.shape
+let tensor_bytes t = numel t * dtype_bytes t.dt
+
+type access = {
+  src : tensor;
+  idx : Expr.t list;
+  guards : (Expr.t * int) list;
+}
+
+type body =
+  | Contract of access * access
+  | Copy of access
+  | Scan of access
+
+type post_op = Relu | Sigmoid | Scale of float
+
+let apply_post = function
+  | Relu -> fun x -> if x > 0.0 then x else 0.0
+  | Sigmoid -> fun x -> 1.0 /. (1.0 +. exp (-.x))
+  | Scale c -> fun x -> c *. x
+
+let post_op_to_string = function
+  | Relu -> "relu"
+  | Sigmoid -> "sigmoid"
+  | Scale c -> Printf.sprintf "scale(%g)" c
+
+type t = {
+  cname : string;
+  iters : iter list;
+  inputs : tensor list;
+  out : tensor;
+  out_idx : Expr.t list;
+  body : body;
+  flops : float;
+  post : post_op option;
+      (* fused elementwise epilogue (the Always-Inline rule applies it in
+         the consumer without materializing an intermediate) *)
+}
+
+let fuse_post op p =
+  {
+    op with
+    cname = op.cname ^ "+" ^ post_op_to_string p;
+    post = Some p;
+    flops = op.flops +. float_of_int (List.fold_left ( * ) 1 op.out.shape);
+  }
+
+let spatial_iters t = List.filter (fun i -> i.kind = Spatial) t.iters
+let reduction_iters t = List.filter (fun i -> i.kind = Reduction) t.iters
+
+let find_iter t name =
+  match List.find_opt (fun i -> i.iname = name) t.iters with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Op.find_iter: no iterator %s in %s" name t.cname)
+
+let to_string t =
+  let iter_str i =
+    Printf.sprintf "%s:%d%s" i.iname i.extent (if i.kind = Reduction then "r" else "")
+  in
+  Printf.sprintf "%s[%s] <- %s" t.cname
+    (String.concat ", " (List.map iter_str t.iters))
+    (match t.body with
+    | Contract (a, b) -> Printf.sprintf "%s * %s" a.src.tname b.src.tname
+    | Copy a -> a.src.tname
+    | Scan a -> Printf.sprintf "scan(%s)" a.src.tname)
+
+let sp name extent = { iname = name; extent; kind = Spatial }
+let rd name extent = { iname = name; extent; kind = Reduction }
+let v = Expr.var
+let c = Expr.const
+
+let access src idx = { src; idx; guards = [] }
+
+let conv_out_dim ~in_dim ~kernel ~stride ~pad ~dilation =
+  ((in_dim + (2 * pad) - (dilation * (kernel - 1)) - 1) / stride) + 1
+
+let gemm ?(dt = F16) ~m ~n ~k () =
+  let a = { tname = "A"; shape = [ m; k ]; dt }
+  and b = { tname = "B"; shape = [ k; n ]; dt }
+  and out = { tname = "C"; shape = [ m; n ]; dt = F32 } in
+  {
+    cname = "gemm";
+    iters = [ sp "i" m; sp "j" n; rd "r" k ];
+    inputs = [ a; b ];
+    out;
+    out_idx = [ v "i"; v "j" ];
+    body = Contract (access a [ v "i"; v "r" ], access b [ v "r"; v "j" ]);
+    flops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k;
+    post = None;
+  }
+
+let bmm ?(dt = F16) ~b ~m ~n ~k () =
+  let x = { tname = "A"; shape = [ b; m; k ]; dt }
+  and y = { tname = "B"; shape = [ b; k; n ]; dt }
+  and out = { tname = "C"; shape = [ b; m; n ]; dt = F32 } in
+  {
+    cname = "bmm";
+    iters = [ sp "b" b; sp "i" m; sp "j" n; rd "r" k ];
+    inputs = [ x; y ];
+    out;
+    out_idx = [ v "b"; v "i"; v "j" ];
+    body = Contract (access x [ v "b"; v "i"; v "r" ], access y [ v "b"; v "r"; v "j" ]);
+    flops = 2.0 *. float_of_int b *. float_of_int m *. float_of_int n *. float_of_int k;
+    post = None;
+  }
+
+let gemv ?(dt = F16) ~m ~k () =
+  let a = { tname = "A"; shape = [ m; k ]; dt }
+  and x = { tname = "X"; shape = [ k ]; dt }
+  and out = { tname = "Y"; shape = [ m ]; dt = F32 } in
+  {
+    cname = "gemv";
+    iters = [ sp "i" m; rd "r" k ];
+    inputs = [ a; x ];
+    out;
+    out_idx = [ v "i" ];
+    body = Contract (access a [ v "i"; v "r" ], access x [ v "r" ]);
+    flops = 2.0 *. float_of_int m *. float_of_int k;
+    post = None;
+  }
+
+let conv1d ?(dt = F16) ~n ~ci ~l ~co ~kl ~stride ~pad () =
+  let ol = conv_out_dim ~in_dim:l ~kernel:kl ~stride ~pad ~dilation:1 in
+  let x = { tname = "X"; shape = [ n; ci; l ]; dt }
+  and w = { tname = "W"; shape = [ co; ci; kl ]; dt }
+  and out = { tname = "Y"; shape = [ n; co; ol ]; dt = F32 } in
+  let total_flops = 2.0 *. float_of_int (n * co * ol * ci * kl) in
+  let open Expr in
+  {
+    cname = "c1d";
+    iters = [ sp "n" n; sp "co" co; sp "ol" ol; rd "rc" ci; rd "rl" kl ];
+    inputs = [ x; w ];
+    out;
+    out_idx = [ var "n"; var "co"; var "ol" ];
+    body =
+      Contract
+        ( access x [ var "n"; var "rc"; (var "ol" * const stride) + var "rl" - const pad ],
+          access w [ var "co"; var "rc"; var "rl" ] );
+    flops = total_flops;
+    post = None;
+  }
+
+let conv_nd_2 ~name ~dt ~dilation ~n ~ci ~h ~w:w_dim ~co ~kh ~kw ~stride ~pad ~guards_of =
+  let oh = conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad ~dilation in
+  let ow = conv_out_dim ~in_dim:w_dim ~kernel:kw ~stride ~pad ~dilation in
+  let x = { tname = "X"; shape = [ n; ci; h; w_dim ]; dt }
+  and wt = { tname = "W"; shape = [ co; ci; kh; kw ]; dt }
+  and out = { tname = "Y"; shape = [ n; co; oh; ow ]; dt = F32 } in
+  let total_flops = 2.0 *. float_of_int (n * co * oh * ow * ci * kh * kw) in
+  let open Expr in
+  let ih = (var "oh" * const stride) + (var "rh" * const dilation) - const pad in
+  let iw = (var "ow" * const stride) + (var "rw" * const dilation) - const pad in
+  {
+    cname = name;
+    iters =
+      [ sp "n" n; sp "co" co; sp "oh" oh; sp "ow" ow; rd "rc" ci; rd "rh" kh; rd "rw" kw ];
+    inputs = [ x; wt ];
+    out;
+    out_idx = [ var "n"; var "co"; var "oh"; var "ow" ];
+    body =
+      Contract
+        ( { src = x; idx = [ var "n"; var "rc"; ih; iw ]; guards = guards_of ih iw },
+          access wt [ var "co"; var "rc"; var "rh"; var "rw" ] );
+    flops = total_flops;
+    post = None;
+  }
+
+let conv2d ?(dt = F16) ?(dilation = 1) ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad () =
+  conv_nd_2 ~name:"c2d" ~dt ~dilation ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad
+    ~guards_of:(fun _ _ -> [])
+
+let dilated2d ?(dt = F16) ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad ~dilation () =
+  let op = conv_nd_2 ~name:"dil" ~dt ~dilation ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad
+      ~guards_of:(fun _ _ -> [])
+  in
+  op
+
+let conv3d ?(dt = F16) ~n ~ci ~d ~h ~w ~co ~kd ~kh ~kw ~stride ~pad () =
+  let od = conv_out_dim ~in_dim:d ~kernel:kd ~stride ~pad ~dilation:1 in
+  let oh = conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad ~dilation:1 in
+  let ow = conv_out_dim ~in_dim:w ~kernel:kw ~stride ~pad ~dilation:1 in
+  let x = { tname = "X"; shape = [ n; ci; d; h; w ]; dt }
+  and wt = { tname = "W"; shape = [ co; ci; kd; kh; kw ]; dt }
+  and out = { tname = "Y"; shape = [ n; co; od; oh; ow ]; dt = F32 } in
+  let total_flops = 2.0 *. float_of_int (n * co * od * oh * ow * ci * kd * kh * kw) in
+  let open Expr in
+  let idx ax red = (var ax * const stride) + var red - const pad in
+  {
+    cname = "c3d";
+    iters =
+      [
+        sp "n" n; sp "co" co; sp "od" od; sp "oh" oh; sp "ow" ow;
+        rd "rc" ci; rd "rd" kd; rd "rh" kh; rd "rw" kw;
+      ];
+    inputs = [ x; wt ];
+    out;
+    out_idx = [ var "n"; var "co"; var "od"; var "oh"; var "ow" ];
+    body =
+      Contract
+        ( access x [ var "n"; var "rc"; idx "od" "rd"; idx "oh" "rh"; idx "ow" "rw" ],
+          access wt [ var "co"; var "rc"; var "rd"; var "rh"; var "rw" ] );
+    flops = total_flops;
+    post = None;
+  }
+
+(* Transposed convolution expressed as a convolution over the
+   stride-dilated input: an input element contributes at output position
+   oh = ih*stride - pad + kh', so reading back we index the input at
+   (oh + pad - kh') / stride guarded by divisibility. *)
+let transposed2d ?(dt = F16) ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad () =
+  let oh = ((h - 1) * stride) - (2 * pad) + kh in
+  let ow = ((w - 1) * stride) - (2 * pad) + kw in
+  let x = { tname = "X"; shape = [ n; ci; h; w ]; dt }
+  and wt = { tname = "W"; shape = [ ci; co; kh; kw ]; dt }
+  and out = { tname = "Y"; shape = [ n; co; oh; ow ]; dt = F32 } in
+  let total_flops =
+    2.0 *. float_of_int (n * co * oh * ow * ci * kh * kw) /. float_of_int (stride * stride)
+  in
+  let open Expr in
+  let ih_num = var "oh" + const pad - var "rh" in
+  let iw_num = var "ow" + const pad - var "rw" in
+  let ih = ih_num / const stride and iw = iw_num / const stride in
+  {
+    cname = "t2d";
+    iters =
+      [ sp "n" n; sp "co" co; sp "oh" oh; sp "ow" ow; rd "rc" ci; rd "rh" kh; rd "rw" kw ];
+    inputs = [ x; wt ];
+    out;
+    out_idx = [ var "n"; var "co"; var "oh"; var "ow" ];
+    body =
+      Contract
+        ( { src = x; idx = [ var "n"; var "rc"; ih; iw ];
+            guards = [ (ih_num, stride); (iw_num, stride) ] },
+          access wt [ var "rc"; var "co"; var "rh"; var "rw" ] );
+    flops = total_flops;
+    post = None;
+  }
+
+let scan ?(dt = F32) ~b ~l () =
+  let x = { tname = "X"; shape = [ b; l ]; dt }
+  and out = { tname = "Y"; shape = [ b; l ]; dt } in
+  {
+    cname = "scan";
+    iters = [ sp "b" b; sp "i" l ];
+    inputs = [ x ];
+    out;
+    out_idx = [ v "b"; v "i" ];
+    body = Scan (access x [ v "b"; v "i" ]);
+    flops = float_of_int (b * l);
+    post = None;
+  }
+
+let _ = c

@@ -1,0 +1,88 @@
+let input_sizes (op : Op.t) = List.map (fun t -> (t.Op.tname, Op.numel t)) op.inputs
+
+let output_size (op : Op.t) = Op.numel op.out
+
+let flat_index shape idx =
+  (* Returns None when any coordinate is out of range (implicit zero pad). *)
+  let rec loop acc shape idx =
+    match (shape, idx) with
+    | [], [] -> Some acc
+    | d :: shape', i :: idx' ->
+        if i < 0 || i >= d then None else loop ((acc * d) + i) shape' idx'
+    | _ -> invalid_arg "Ref_exec: rank mismatch"
+  in
+  loop 0 shape idx
+
+let read_access env buffers (a : Op.access) =
+  let guarded =
+    List.for_all (fun (e, m) -> Expr.eval env e mod m = 0) a.guards
+  in
+  if not guarded then 0.0
+  else
+    let idx = List.map (Expr.eval env) a.idx in
+    match flat_index a.src.shape idx with
+    | None -> 0.0
+    | Some i -> (List.assoc a.src.tname buffers).(i)
+
+let run (op : Op.t) inputs =
+  List.iter
+    (fun (t : Op.tensor) ->
+      match List.assoc_opt t.tname inputs with
+      | None -> invalid_arg (Printf.sprintf "Ref_exec.run: missing input %s" t.tname)
+      | Some buf ->
+          if Array.length buf <> Op.numel t then
+            invalid_arg (Printf.sprintf "Ref_exec.run: input %s has size %d, expected %d"
+                t.tname (Array.length buf) (Op.numel t)))
+    op.inputs;
+  let out = Array.make (Op.numel op.out) 0.0 in
+  let values = Hashtbl.create 16 in
+  let env name =
+    match Hashtbl.find_opt values name with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Ref_exec.run: unbound iterator %s" name)
+  in
+  let spatial = Op.spatial_iters op and reduction = Op.reduction_iters op in
+  let rec iterate iters body =
+    match iters with
+    | [] -> body ()
+    | (it : Op.iter) :: rest ->
+        for v = 0 to it.extent - 1 do
+          Hashtbl.replace values it.iname v;
+          iterate rest body
+        done
+  in
+  let post =
+    match op.post with Some p -> Op.apply_post p | None -> fun x -> x
+  in
+  let write_point () =
+    let out_idx = List.map (Expr.eval env) op.out_idx in
+    match flat_index op.out.shape out_idx with
+    | None -> invalid_arg "Ref_exec.run: output index out of range"
+    | Some oi -> (
+        match op.body with
+        | Op.Contract (a, b) ->
+            let acc = ref 0.0 in
+            iterate reduction (fun () ->
+                acc := !acc +. (read_access env inputs a *. read_access env inputs b));
+            out.(oi) <- post (out.(oi) +. !acc)
+        | Op.Copy a -> out.(oi) <- post (read_access env inputs a)
+        | Op.Scan a ->
+            (* Accumulate along the last spatial iterator: recompute the
+               prefix sum for this point. Quadratic, but only used on test
+               shapes. *)
+            let last =
+              match List.rev spatial with
+              | it :: _ -> it
+              | [] -> invalid_arg "Ref_exec.run: scan without spatial iterators"
+            in
+            let here = env last.iname in
+            let acc = ref 0.0 in
+            for j = 0 to here do
+              Hashtbl.replace values last.iname j;
+              acc := !acc +. read_access env inputs a
+            done;
+            Hashtbl.replace values last.iname here;
+            out.(oi) <- post !acc)
+  in
+  iterate spatial write_point;
+  out

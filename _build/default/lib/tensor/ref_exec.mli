@@ -1,0 +1,18 @@
+(** Generic reference interpreter for compute descriptions.
+
+    Executes a compute naively (directly expanding all loop indices) over
+    float arrays, producing the ground-truth output used to validate both
+    the operator constructors and scheduled programs. Intended for small
+    test shapes only. *)
+
+val run : Op.t -> (string * float array) list -> float array
+(** [run op inputs] evaluates [op] with the named input buffers (row-major,
+    one per [op.inputs]) and returns the row-major output buffer.
+
+    @raise Invalid_argument if an input is missing or has the wrong size. *)
+
+val input_sizes : Op.t -> (string * int) list
+(** Names and element counts of the operator's inputs, in declaration
+    order. *)
+
+val output_size : Op.t -> int

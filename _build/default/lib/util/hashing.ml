@@ -1,0 +1,14 @@
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let unit_float s =
+  let h = fnv1a s in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let signed_unit s = (2.0 *. unit_float s) -. 1.0

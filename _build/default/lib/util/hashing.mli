@@ -1,0 +1,11 @@
+(** Stable hashing used to derive deterministic per-configuration jitter in
+    the DLA performance models. *)
+
+val fnv1a : string -> int64
+(** 64-bit FNV-1a hash of a string; stable across runs and platforms. *)
+
+val unit_float : string -> float
+(** Deterministic value in [\[0, 1)] derived from the string. *)
+
+val signed_unit : string -> float
+(** Deterministic value in [\[-1, 1)] derived from the string. *)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the reproduction (solvers, searchers,
+    measurement jitter) draw from this splittable SplitMix64 generator so
+    that every experiment is reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    Requires [lo <= hi]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choice_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> 'a list -> int -> 'a list
+(** [sample t xs k] draws [min k (length xs)] distinct elements. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Heron Heron_baselines Heron_dla Heron_nets Heron_tensor List

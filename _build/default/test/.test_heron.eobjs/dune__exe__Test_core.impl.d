@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Heron Heron_baselines Heron_csp Heron_dla Heron_sched Heron_search Heron_tensor Heron_util List

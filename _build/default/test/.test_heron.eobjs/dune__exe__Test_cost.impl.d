@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Heron_cost Heron_csp Heron_util List String

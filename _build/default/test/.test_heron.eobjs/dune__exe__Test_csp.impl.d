@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Array Heron_csp Heron_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dla.ml: Alcotest Heron Heron_csp Heron_dla Heron_sched Heron_tensor Heron_util List String

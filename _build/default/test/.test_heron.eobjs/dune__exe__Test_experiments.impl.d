@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Heron_experiments Heron_search List String

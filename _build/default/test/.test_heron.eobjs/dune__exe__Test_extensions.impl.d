@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Filename Heron Heron_csp Heron_dla Heron_sched Heron_tensor Heron_util List String Sys

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Heron_csp Heron_search Heron_util List

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Heron_tensor Heron_util Printf QCheck QCheck_alcotest

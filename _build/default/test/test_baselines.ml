@@ -1,0 +1,121 @@
+(* Tests for the baseline paradigm models and workload tables. *)
+
+module Op = Heron_tensor.Op
+module D = Heron_dla.Descriptor
+module Methods = Heron_baselines.Methods
+module Suites = Heron_nets.Suites
+module Models = Heron_nets.Models
+
+let small_gemm = Op.gemm ~m:256 ~n:256 ~k:256 ()
+
+let test_supports () =
+  Alcotest.(check bool) "heron everywhere" true (Methods.heron.Methods.supports D.vta small_gemm);
+  Alcotest.(check bool) "ansor not on vta" false (Methods.ansor.Methods.supports D.vta small_gemm);
+  Alcotest.(check bool) "amos not on vta" false (Methods.amos.Methods.supports D.vta small_gemm);
+  Alcotest.(check bool) "akg gemm on tc" true (Methods.akg.Methods.supports D.v100 small_gemm);
+  Alcotest.(check bool) "akg not scan" false
+    (Methods.akg.Methods.supports D.v100 (Op.scan ~b:4 ~l:64 ()));
+  let cudnn = Methods.vendor Heron.Hand_tuned.Cudnn in
+  Alcotest.(check bool) "cudnn on tc" true (cudnn.Methods.supports D.v100 small_gemm);
+  Alcotest.(check bool) "cudnn not on dlboost" false
+    (cudnn.Methods.supports D.dlboost small_gemm)
+
+let run_method (m : Methods.t) desc op =
+  m.Methods.run desc op ~budget:24 ~seed:3
+
+let test_heron_runs () =
+  let r = run_method Methods.heron D.v100 small_gemm in
+  Alcotest.(check bool) "found" true (r.Methods.latency_us <> None);
+  Alcotest.(check int) "no invalid in constrained space" 0 r.Methods.invalid
+
+let test_autotvm_runs_and_hits_invalid () =
+  (* AutoTVM's relaxed space on a large shape explores invalid programs. *)
+  let big = Op.gemm ~m:4096 ~n:4096 ~k:4096 () in
+  let r = Methods.autotvm.Methods.run D.v100 big ~budget:60 ~seed:3 in
+  Alcotest.(check bool) "ran" true (r.Methods.steps > 0);
+  Alcotest.(check bool) "explored invalid candidates" true (r.Methods.invalid > 0)
+
+let test_ansor_never_tensorized_slower () =
+  let heron = run_method Methods.heron D.v100 small_gemm in
+  let ansor = run_method Methods.ansor D.v100 small_gemm in
+  match (heron.Methods.latency_us, ansor.Methods.latency_us) with
+  | Some h, Some a -> Alcotest.(check bool) "heron uses the TensorCore" true (h < a)
+  | _ -> Alcotest.fail "both must find something"
+
+let test_amos_runs () =
+  let r = run_method Methods.amos D.v100 small_gemm in
+  Alcotest.(check bool) "found" true (r.Methods.latency_us <> None)
+
+let test_akg_single_shot () =
+  let r = run_method Methods.akg D.v100 small_gemm in
+  Alcotest.(check int) "one step" 1 r.Methods.steps;
+  Alcotest.(check bool) "found" true (r.Methods.latency_us <> None)
+
+let test_by_name () =
+  Alcotest.(check bool) "heron" true (Methods.by_name "heron" <> None);
+  Alcotest.(check bool) "AKG case-insensitive" true (Methods.by_name "akg" <> None);
+  Alcotest.(check bool) "unknown" true (Methods.by_name "tvm9000" = None)
+
+let test_suites_shapes () =
+  Alcotest.(check int) "5 gemm configs" 5 (List.length Suites.table9_gemm);
+  Alcotest.(check int) "5 c2d configs" 5 (List.length Suites.table9_c2d);
+  Alcotest.(check int) "9 tensorcore op classes" 9 (List.length Suites.tensorcore_ops);
+  Alcotest.(check int) "8 dlboost op classes" 8 (List.length Suites.dlboost_ops);
+  Alcotest.(check int) "3 vta op classes" 3 (List.length Suites.vta_ops);
+  (match Suites.find_op "G3" with
+  | Some op ->
+      Alcotest.(check int) "G3 m" 32 (Op.find_iter op "i").Op.extent;
+      Alcotest.(check int) "G3 k" 2048 (Op.find_iter op "r").Op.extent
+  | None -> Alcotest.fail "G3 exists");
+  Alcotest.(check bool) "unknown shape" true (Suites.find_op "Z9" = None)
+
+let test_dlboost_suite_is_int8 () =
+  List.iter
+    (fun (_, ops) ->
+      List.iter
+        (fun (op : Op.t) ->
+          List.iter
+            (fun (t : Op.tensor) ->
+              Alcotest.(check bool) "int8 inputs" true (t.Op.dt = Op.I8))
+            op.Op.inputs)
+        ops)
+    Suites.dlboost_ops
+
+let test_networks () =
+  Alcotest.(check int) "four networks" 4 (List.length Models.all);
+  List.iter
+    (fun (net : Models.network) ->
+      Alcotest.(check bool) (net.Models.net_name ^ " has layers") true
+        (net.Models.layers <> []);
+      Alcotest.(check bool) (net.Models.net_name ^ " flops positive") true
+        (Models.total_flops net > 0.0);
+      List.iter
+        (fun (count, _) ->
+          Alcotest.(check bool) "positive multiplicity" true (count > 0))
+        net.Models.layers)
+    Models.all
+
+let test_bert_dominated_by_gemms () =
+  let gemm_flops =
+    List.fold_left
+      (fun acc (c, (op : Op.t)) ->
+        if op.Op.cname = "gemm" then acc +. (float_of_int c *. op.Op.flops) else acc)
+      0.0 Models.bert.Models.layers
+  in
+  Alcotest.(check bool) "gemms dominate BERT" true
+    (gemm_flops > 0.8 *. Models.total_flops Models.bert)
+
+let suite =
+  [
+    Alcotest.test_case "method support matrix" `Quick test_supports;
+    Alcotest.test_case "heron method" `Quick test_heron_runs;
+    Alcotest.test_case "autotvm explores invalid" `Quick test_autotvm_runs_and_hits_invalid;
+    Alcotest.test_case "ansor slower than heron" `Quick test_ansor_never_tensorized_slower;
+    Alcotest.test_case "amos method" `Quick test_amos_runs;
+    Alcotest.test_case "akg single shot" `Quick test_akg_single_shot;
+    Alcotest.test_case "method lookup" `Quick test_by_name;
+    Alcotest.test_case "suite shapes" `Quick test_suites_shapes;
+    Alcotest.test_case "dlboost suite int8" `Quick test_dlboost_suite_is_int8;
+    Alcotest.test_case "network tables" `Quick test_networks;
+    Alcotest.test_case "bert gemm-dominated" `Quick test_bert_dominated_by_gemms;
+  ]

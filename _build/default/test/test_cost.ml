@@ -1,0 +1,151 @@
+(* Tests for the cost model: feature binning, regression trees, gradient
+   boosting and feature importance. *)
+
+module Domain = Heron_csp.Domain
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Features = Heron_cost.Features
+module Tree = Heron_cost.Tree
+module Gbt = Heron_cost.Gbt
+module Model = Heron_cost.Model
+module Rng = Heron_util.Rng
+
+let toy_problem () =
+  let b = Problem.builder () in
+  Problem.add_var b "x" (Domain.of_list [ 1; 2; 4; 8; 16 ]);
+  Problem.add_var b "y" (Domain.of_list [ 1; 3; 5 ]);
+  Problem.add_var b "noise" (Domain.of_list (List.init 10 (fun i -> i)));
+  Problem.freeze b
+
+let test_features_shape () =
+  let f = Features.of_problem (toy_problem ()) in
+  Alcotest.(check int) "three features" 3 (Features.n_features f);
+  Alcotest.(check (array string)) "names" [| "x"; "y"; "noise" |] (Features.names f)
+
+let test_binning () =
+  let f = Features.of_problem (toy_problem ()) in
+  let a = Assignment.of_list [ ("x", 4); ("y", 5); ("noise", 0) ] in
+  let bins = Features.binned f a in
+  Alcotest.(check int) "x bin" 2 bins.(0);
+  Alcotest.(check int) "y bin" 2 bins.(1);
+  Alcotest.(check int) "noise bin" 0 bins.(2);
+  (* Values below the smallest boundary clamp to bin 0. *)
+  let low = Assignment.of_list [ ("x", 0); ("y", 1); ("noise", 9) ] in
+  Alcotest.(check int) "clamped" 0 (Features.binned f low).(0)
+
+let test_vector_unbound_zero () =
+  let f = Features.of_problem (toy_problem ()) in
+  let v = Features.vector f (Assignment.of_list [ ("x", 8) ]) in
+  Alcotest.(check (float 0.0)) "bound" 8.0 v.(0);
+  Alcotest.(check (float 0.0)) "unbound is 0" 0.0 v.(1)
+
+(* Synthetic regression data over binned features. *)
+let synth_data ~n ~bins f =
+  let rng = Rng.create 7 in
+  let xs = Array.init n (fun _ -> Array.init (Array.length bins) (fun j -> Rng.int rng bins.(j))) in
+  let ys = Array.map f xs in
+  (xs, ys)
+
+let variance ys =
+  let n = float_of_int (Array.length ys) in
+  let mean = Array.fold_left ( +. ) 0.0 ys /. n in
+  Array.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.0)) 0.0 ys /. n
+
+let mse predict xs ys =
+  let n = float_of_int (Array.length xs) in
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((predict x -. ys.(i)) ** 2.0)) xs;
+  !acc /. n
+
+let test_tree_reduces_error () =
+  let bins = [| 8; 8 |] in
+  let xs, ys = synth_data ~n:200 ~bins (fun x -> float_of_int ((2 * x.(0)) - x.(1))) in
+  let tree = Tree.fit ~n_bins:bins xs ys in
+  Alcotest.(check bool) "below half the variance" true
+    (mse (Tree.predict tree) xs ys < 0.5 *. variance ys)
+
+let test_tree_constant_target () =
+  let bins = [| 4 |] in
+  let xs, ys = synth_data ~n:50 ~bins (fun _ -> 3.5) in
+  let tree = Tree.fit ~n_bins:bins xs ys in
+  Alcotest.(check (float 1e-9)) "constant" 3.5 (Tree.predict tree [| 2 |]);
+  Alcotest.(check int) "single leaf" 1 (Tree.n_nodes tree)
+
+let test_tree_respects_depth () =
+  let bins = [| 16; 16; 16 |] in
+  let xs, ys =
+    synth_data ~n:400 ~bins (fun x -> float_of_int (x.(0) * x.(1)) +. float_of_int x.(2))
+  in
+  let tree =
+    Tree.fit ~params:{ Tree.default_params with Tree.max_depth = 2 } ~n_bins:bins xs ys
+  in
+  Alcotest.(check bool) "depth bounded" true (Tree.depth tree <= 2)
+
+let test_gbt_beats_single_tree () =
+  let bins = [| 8; 8; 8 |] in
+  let f x = float_of_int (x.(0) * x.(1)) -. (2.0 *. float_of_int x.(2)) in
+  let xs, ys = synth_data ~n:300 ~bins f in
+  let tree = Tree.fit ~n_bins:bins xs ys in
+  let gbt = Gbt.fit ~n_bins:bins xs ys in
+  Alcotest.(check bool) "boosting helps" true
+    (mse (Gbt.predict gbt) xs ys < mse (Tree.predict tree) xs ys)
+
+let test_gbt_importance_finds_signal () =
+  let bins = [| 8; 8; 8; 8 |] in
+  (* Only feature 1 matters. *)
+  let xs, ys = synth_data ~n:300 ~bins (fun x -> 10.0 *. float_of_int x.(1)) in
+  let gbt = Gbt.fit ~n_bins:bins xs ys in
+  let gains = Gbt.feature_gains gbt in
+  let best = ref 0 in
+  Array.iteri (fun i g -> if g > gains.(!best) then best := i) gains;
+  Alcotest.(check int) "feature 1 dominates" 1 !best
+
+let test_model_lifecycle () =
+  let p = toy_problem () in
+  let m = Model.create p in
+  Alcotest.(check bool) "untrained" false (Model.trained m);
+  Alcotest.(check (float 0.0)) "prior" 0.0
+    (Model.predict m (Assignment.of_list [ ("x", 2); ("y", 3); ("noise", 1) ]));
+  (* Score = x, independent of y/noise. *)
+  let rng = Rng.create 3 in
+  for _ = 1 to 64 do
+    let x = [| 1; 2; 4; 8; 16 |].(Rng.int rng 5) in
+    let a = Assignment.of_list [ ("x", x); ("y", 1 + (2 * Rng.int rng 3)); ("noise", Rng.int rng 10) ] in
+    Model.record m a (float_of_int x)
+  done;
+  Model.refit m;
+  Alcotest.(check bool) "trained" true (Model.trained m);
+  let pred x = Model.predict m (Assignment.of_list [ ("x", x); ("y", 3); ("noise", 5) ]) in
+  Alcotest.(check bool) "monotone in x" true (pred 16 > pred 1);
+  (match Model.key_variables m 1 with
+  | [ "x" ] -> ()
+  | other -> Alcotest.failf "expected x as key variable, got [%s]" (String.concat ";" other));
+  Alcotest.(check int) "sample count" 64 (Model.n_samples m)
+
+let test_model_window () =
+  let p = toy_problem () in
+  let m = Model.create ~window:10 p in
+  for i = 1 to 25 do
+    Model.record m (Assignment.of_list [ ("x", 1); ("y", 1); ("noise", i mod 10) ]) 1.0
+  done;
+  Alcotest.(check int) "window capped" 10 (Model.n_samples m)
+
+let test_key_variables_fallback () =
+  let p = toy_problem () in
+  let m = Model.create p in
+  Alcotest.(check (list string)) "untrained fallback" [ "x"; "y" ] (Model.key_variables m 2)
+
+let suite =
+  [
+    Alcotest.test_case "feature shape" `Quick test_features_shape;
+    Alcotest.test_case "binning" `Quick test_binning;
+    Alcotest.test_case "vector unbound" `Quick test_vector_unbound_zero;
+    Alcotest.test_case "tree reduces error" `Quick test_tree_reduces_error;
+    Alcotest.test_case "tree constant" `Quick test_tree_constant_target;
+    Alcotest.test_case "tree depth bound" `Quick test_tree_respects_depth;
+    Alcotest.test_case "gbt beats tree" `Quick test_gbt_beats_single_tree;
+    Alcotest.test_case "importance finds signal" `Quick test_gbt_importance_finds_signal;
+    Alcotest.test_case "model lifecycle" `Quick test_model_lifecycle;
+    Alcotest.test_case "model window" `Quick test_model_window;
+    Alcotest.test_case "key variable fallback" `Quick test_key_variables_fallback;
+  ]

@@ -1,0 +1,283 @@
+(* Tests for the CSP substrate: domains, constraint semantics, propagation
+   strength and the randomized solver, including exhaustiveness checks
+   against brute-force enumeration on small problems. *)
+
+module Domain = Heron_csp.Domain
+module Cons = Heron_csp.Cons
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Solver = Heron_csp.Solver
+module Rng = Heron_util.Rng
+
+let dl = Domain.of_list
+
+let test_domain_basics () =
+  let d = dl [ 3; 1; 2; 3; 1 ] in
+  Alcotest.(check (list int)) "sorted dedup" [ 1; 2; 3 ] (Domain.to_list d);
+  Alcotest.(check int) "min" 1 (Domain.min_value d);
+  Alcotest.(check int) "max" 3 (Domain.max_value d);
+  Alcotest.(check bool) "mem" true (Domain.mem 2 d);
+  Alcotest.(check bool) "not mem" false (Domain.mem 5 d);
+  Alcotest.(check (option int)) "not singleton" None (Domain.value d);
+  Alcotest.(check (option int)) "singleton" (Some 7) (Domain.value (Domain.singleton 7))
+
+let test_domain_set_ops =
+  QCheck.Test.make ~name:"inter/union are set ops" ~count:200
+    QCheck.(pair (list (int_range 0 30)) (list (int_range 0 30)))
+    (fun (a, b) ->
+      let da = dl a and db = dl b in
+      let inter = Domain.to_list (Domain.inter da db) in
+      let union = Domain.to_list (Domain.union da db) in
+      let sa = List.sort_uniq compare a and sb = List.sort_uniq compare b in
+      inter = List.filter (fun x -> List.mem x sb) sa
+      && union = List.sort_uniq compare (sa @ sb))
+
+let test_domain_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Domain.to_list (Domain.range 2 4));
+  Alcotest.(check bool) "empty range" true (Domain.is_empty (Domain.range 4 2))
+
+let test_domain_random () =
+  let rng = Rng.create 1 in
+  let d = dl [ 5; 9; 11 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "random member" true (Domain.mem (Domain.random rng d) d)
+  done
+
+let test_cons_holds () =
+  let env = function "a" -> 6 | "b" -> 2 | "c" -> 3 | "u" -> 1 | _ -> 0 in
+  Alcotest.(check bool) "prod" true (Cons.holds env (Cons.Prod ("a", [ "b"; "c" ])));
+  Alcotest.(check bool) "sum" false (Cons.holds env (Cons.Sum ("a", [ "b"; "c" ])));
+  Alcotest.(check bool) "le" true (Cons.holds env (Cons.Le ("b", "c")));
+  Alcotest.(check bool) "in" true (Cons.holds env (Cons.In ("c", [ 1; 3 ])));
+  Alcotest.(check bool) "select" true (Cons.holds env (Cons.Select ("c", "u", [ "b"; "c" ])));
+  Alcotest.(check bool) "select oob" false
+    (Cons.holds (fun _ -> 5) (Cons.Select ("c", "u", [ "b"; "c" ])))
+
+let chain_problem () =
+  (* 24 = x * y * z with small domains, plus y <= z. *)
+  let b = Problem.builder () in
+  Problem.add_var b "n" (Domain.singleton 24);
+  Problem.add_var b "x" (dl [ 1; 2; 3; 4; 6 ]);
+  Problem.add_var b "yz" (dl [ 4; 6; 8; 12; 24 ]);
+  Problem.add_var b "y" (dl [ 1; 2; 3; 4 ]);
+  Problem.add_var b "z" (dl [ 2; 3; 4; 6; 8; 12 ]);
+  Problem.add_cons b (Cons.Prod ("n", [ "x"; "yz" ]));
+  Problem.add_cons b (Cons.Prod ("yz", [ "y"; "z" ]));
+  Problem.add_cons b (Cons.Le ("y", "z"));
+  Problem.freeze b
+
+let brute_force p =
+  (* Enumerate the full cross product and filter by check. *)
+  let vars = Array.to_list (Problem.vars p) in
+  let rec go acc = function
+    | [] -> [ acc ]
+    | v :: rest ->
+        Domain.to_list (Problem.domain p v)
+        |> List.concat_map (fun value -> go (Assignment.set acc v value) rest)
+  in
+  go Assignment.empty vars |> List.filter (fun a -> Problem.check p a = Ok ())
+
+let test_enumerate_matches_brute_force () =
+  let p = chain_problem () in
+  let brute = brute_force p in
+  let enum = Solver.enumerate p in
+  Alcotest.(check int) "same count" (List.length brute) (List.length enum);
+  let keys l = List.sort compare (List.map Assignment.key l) in
+  Alcotest.(check (list string)) "same solutions" (keys brute) (keys enum)
+
+let test_solver_valid () =
+  let p = chain_problem () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 30 do
+    match Solver.solve rng p with
+    | None -> Alcotest.fail "satisfiable problem must be solved"
+    | Some a -> Alcotest.(check bool) "solution valid" true (Problem.check p a = Ok ())
+  done
+
+let test_solver_unsat () =
+  let b = Problem.builder () in
+  Problem.add_var b "x" (dl [ 2; 3 ]);
+  Problem.add_var b "y" (dl [ 5; 7 ]);
+  Problem.add_cons b (Cons.Eq ("x", "y"));
+  let p = Problem.freeze b in
+  Alcotest.(check bool) "unsat" true (Solver.solve (Rng.create 1) p = None)
+
+let test_rand_sat_count_and_validity () =
+  let p = chain_problem () in
+  let sols = Solver.rand_sat (Rng.create 9) p 20 in
+  Alcotest.(check int) "twenty solutions" 20 (List.length sols);
+  List.iter
+    (fun a -> Alcotest.(check bool) "valid" true (Problem.check p a = Ok ()))
+    sols
+
+let test_rand_sat_diversity () =
+  let p = chain_problem () in
+  let sols = Solver.rand_sat (Rng.create 11) p 30 in
+  let distinct = List.sort_uniq compare (List.map Assignment.key sols) in
+  Alcotest.(check bool) "several distinct solutions" true (List.length distinct >= 3)
+
+let test_propagation_prunes () =
+  (* x * y = 12 with x even forces y in {2, 3, 6} given y <= 6 domain. *)
+  let b = Problem.builder () in
+  Problem.add_var b "n" (Domain.singleton 12);
+  Problem.add_var b "x" (dl [ 2; 4; 6 ]);
+  Problem.add_var b "y" (dl [ 1; 2; 3; 4; 5; 6 ]);
+  Problem.add_cons b (Cons.Prod ("n", [ "x"; "y" ]));
+  let p = Problem.freeze b in
+  match Solver.propagate_domains p with
+  | None -> Alcotest.fail "satisfiable"
+  | Some doms ->
+      Alcotest.(check (list int)) "y pruned" [ 2; 3; 6 ]
+        (Domain.to_list (List.assoc "y" doms))
+
+let test_propagation_wipeout () =
+  let b = Problem.builder () in
+  Problem.add_var b "x" (dl [ 2; 3 ]);
+  Problem.add_var b "y" (dl [ 10; 11 ]);
+  Problem.add_var b "n" (Domain.singleton 7);
+  Problem.add_cons b (Cons.Prod ("n", [ "x"; "y" ]));
+  Alcotest.(check bool) "wipeout" true (Solver.propagate_domains (Problem.freeze b) = None)
+
+let test_select_propagation () =
+  let b = Problem.builder () in
+  Problem.add_var b "v" (dl [ 10; 20; 30 ]);
+  Problem.add_var b "u" (dl [ 0; 1; 2 ]);
+  Problem.add_var b "a" (Domain.singleton 10);
+  Problem.add_var b "b" (Domain.singleton 99);
+  Problem.add_var b "c" (Domain.singleton 30);
+  Problem.add_cons b (Cons.Select ("v", "u", [ "a"; "b"; "c" ]));
+  let p = Problem.freeze b in
+  (match Solver.propagate_domains p with
+  | None -> Alcotest.fail "satisfiable"
+  | Some doms ->
+      (* b = 99 intersects v nowhere, so index 1 is pruned. *)
+      Alcotest.(check (list int)) "u pruned" [ 0; 2 ] (Domain.to_list (List.assoc "u" doms)));
+  let sols = Solver.enumerate p in
+  Alcotest.(check int) "two solutions" 2 (List.length sols)
+
+let test_sum_constraint () =
+  let b = Problem.builder () in
+  Problem.add_var b "t" (dl [ 5; 6 ]);
+  Problem.add_var b "x" (dl [ 1; 2; 3 ]);
+  Problem.add_var b "y" (dl [ 3; 4 ]);
+  Problem.add_cons b (Cons.Sum ("t", [ "x"; "y" ]));
+  let p = Problem.freeze b in
+  let sols = Solver.enumerate p in
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "sum holds"
+        (Assignment.get a "x" + Assignment.get a "y")
+        (Assignment.get a "t"))
+    sols;
+  Alcotest.(check int) "solution count" 4 (List.length sols)
+
+let test_with_extra () =
+  let p = chain_problem () in
+  let p' = Problem.with_extra p [ Cons.In ("x", [ 4 ]) ] in
+  Alcotest.(check int) "one more constraint" (Problem.n_cons p + 1) (Problem.n_cons p');
+  List.iter
+    (fun a -> Alcotest.(check int) "x pinned" 4 (Assignment.get a "x"))
+    (Solver.enumerate p');
+  (* Unknown variables are rejected. *)
+  Alcotest.check_raises "unknown var" (Invalid_argument
+    "Problem.with_extra: unknown variable nope in IN(nope, [1])")
+    (fun () -> ignore (Problem.with_extra p [ Cons.In ("nope", [ 1 ]) ]))
+
+let test_solve_biased () =
+  let p = chain_problem () in
+  (* A feasible full bias must be returned verbatim. *)
+  let feasible = Assignment.of_list [ ("n", 24); ("x", 2); ("yz", 12); ("y", 3); ("z", 4) ] in
+  (match Solver.solve_biased (Rng.create 3) p feasible with
+  | None -> Alcotest.fail "must decode"
+  | Some a -> Alcotest.(check bool) "bias kept" true (Assignment.equal a feasible));
+  (* An infeasible bias still decodes to some valid solution. *)
+  let infeasible = Assignment.of_list [ ("x", 6); ("y", 4); ("z", 12) ] in
+  match Solver.solve_biased (Rng.create 3) p infeasible with
+  | None -> Alcotest.fail "must decode to something"
+  | Some a -> Alcotest.(check bool) "valid" true (Problem.check p a = Ok ())
+
+let test_violations_count () =
+  let p = chain_problem () in
+  let bad = Assignment.of_list [ ("n", 24); ("x", 100); ("yz", 4); ("y", 1); ("z", 2) ] in
+  (* x=100 violates its domain; n = x*yz and yz = y*z both fail. *)
+  Alcotest.(check bool) "violations > 1" true (Problem.violations p bad >= 2);
+  let good = Assignment.of_list [ ("n", 24); ("x", 6); ("yz", 4); ("y", 2); ("z", 2) ] in
+  Alcotest.(check int) "no violations" 0 (Problem.violations p good)
+
+let test_categories () =
+  let b = Problem.builder () in
+  Problem.add_var b ~category:Problem.Architectural "a" (Domain.singleton 1);
+  Problem.add_var b ~category:Problem.Tunable "t" (Domain.singleton 1);
+  Problem.add_var b ~category:Problem.Auxiliary "x" (Domain.singleton 1);
+  let p = Problem.freeze b in
+  Alcotest.(check (list string)) "tunables" [ "t" ] (Problem.vars_of_category p Problem.Tunable);
+  Alcotest.(check bool) "category" true (Problem.category p "a" = Problem.Architectural)
+
+(* Random chain problems: any solver answer must satisfy the checker, and
+   solvability must agree with brute force. *)
+let random_chain_agrees =
+  QCheck.Test.make ~name:"solver agrees with brute force on random chains" ~count:40
+    QCheck.(triple (int_range 1 60) (int_range 1 8) small_int)
+    (fun (n, dcap, seed) ->
+      let b = Problem.builder () in
+      Problem.add_var b "n" (Domain.singleton n);
+      Problem.add_var b "x" (dl (List.init dcap (fun i -> i + 1)));
+      Problem.add_var b "y" (dl (List.init dcap (fun i -> i + 1)));
+      Problem.add_cons b (Cons.Prod ("n", [ "x"; "y" ]));
+      let p = Problem.freeze b in
+      let brute_sat =
+        List.exists
+          (fun x -> List.exists (fun y -> x * y = n) (List.init dcap (fun i -> i + 1)))
+          (List.init dcap (fun i -> i + 1))
+      in
+      match Solver.solve (Rng.create seed) p with
+      | Some a -> brute_sat && Problem.check p a = Ok ()
+      | None -> not brute_sat)
+
+let test_bounds_only_still_sound () =
+  (* With exact support pruning disabled, the solver is slower but still
+     sound and complete on satisfiable problems. *)
+  let p = chain_problem () in
+  for seed = 1 to 10 do
+    match Solver.solve ~exact_limit:0 (Rng.create seed) p with
+    | None -> Alcotest.fail "satisfiable with bounds-only propagation"
+    | Some a -> Alcotest.(check bool) "valid" true (Problem.check p a = Ok ())
+  done
+
+let test_exact_vs_bounds_agree_on_unsat () =
+  let b = Problem.builder () in
+  Problem.add_var b "n" (Domain.singleton 7);
+  Problem.add_var b "x" (dl [ 2; 3 ]);
+  Problem.add_var b "y" (dl [ 2; 3 ]);
+  Problem.add_cons b (Cons.Prod ("n", [ "x"; "y" ]));
+  let p = Problem.freeze b in
+  Alcotest.(check bool) "exact unsat" true (Solver.solve (Rng.create 1) p = None);
+  Alcotest.(check bool) "bounds unsat" true
+    (Solver.solve ~exact_limit:0 (Rng.create 1) p = None)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "domain basics" `Quick test_domain_basics;
+    qtest test_domain_set_ops;
+    Alcotest.test_case "domain range" `Quick test_domain_range;
+    Alcotest.test_case "domain random" `Quick test_domain_random;
+    Alcotest.test_case "constraint semantics" `Quick test_cons_holds;
+    Alcotest.test_case "enumerate = brute force" `Quick test_enumerate_matches_brute_force;
+    Alcotest.test_case "solver returns valid" `Quick test_solver_valid;
+    Alcotest.test_case "solver detects unsat" `Quick test_solver_unsat;
+    Alcotest.test_case "rand_sat count/validity" `Quick test_rand_sat_count_and_validity;
+    Alcotest.test_case "rand_sat diversity" `Quick test_rand_sat_diversity;
+    Alcotest.test_case "propagation prunes products" `Quick test_propagation_prunes;
+    Alcotest.test_case "propagation wipeout" `Quick test_propagation_wipeout;
+    Alcotest.test_case "select propagation" `Quick test_select_propagation;
+    Alcotest.test_case "sum constraint" `Quick test_sum_constraint;
+    Alcotest.test_case "with_extra" `Quick test_with_extra;
+    Alcotest.test_case "solve_biased" `Quick test_solve_biased;
+    Alcotest.test_case "violations count" `Quick test_violations_count;
+    Alcotest.test_case "variable categories" `Quick test_categories;
+    qtest random_chain_agrees;
+    Alcotest.test_case "bounds-only propagation sound" `Quick test_bounds_only_still_sound;
+    Alcotest.test_case "exact/bounds agree on unsat" `Quick test_exact_vs_bounds_agree_on_unsat;
+  ]

@@ -1,0 +1,239 @@
+(* Tests for the DLA simulators: descriptors, the validator (which
+   violations are caught), the performance model's qualitative behavior and
+   the measurer. *)
+
+module Op = Heron_tensor.Op
+module Concrete = Heron_sched.Concrete
+module Assignment = Heron_csp.Assignment
+module Solver = Heron_csp.Solver
+module D = Heron_dla.Descriptor
+module Validate = Heron_dla.Validate
+module Violation = Heron_dla.Violation
+module Perf = Heron_dla.Perf_model
+module Measure = Heron_dla.Measure
+module Rng = Heron_util.Rng
+
+let solve_gemm ?(seed = 3) ?(m = 256) ?(n = 256) ?(k = 256) desc =
+  let op = Op.gemm ~m ~n ~k () in
+  let gen = Heron.Generator.generate desc op in
+  match Solver.solve (Rng.create seed) gen.Heron.Generator.problem with
+  | None -> Alcotest.fail "generated space must be satisfiable"
+  | Some a -> (gen, a)
+
+let instantiate (gen : Heron.Generator.t) a =
+  Concrete.instantiate gen.Heron.Generator.template a
+
+let test_descriptor_shapes () =
+  List.iter
+    (fun (m, n, k) ->
+      Alcotest.(check int) "wmma product" 4096 (m * n * k);
+      Alcotest.(check bool) "members" true
+        (List.for_all (fun x -> List.mem x [ 8; 16; 32 ]) [ m; n; k ]))
+    D.v100.D.intrin_shapes;
+  Alcotest.(check int) "seven wmma shapes" 7 (List.length D.v100.D.intrin_shapes)
+
+let test_descriptor_peaks () =
+  Alcotest.(check (float 1.0)) "v100 peak" 112.0 (D.peak_tflops D.v100);
+  Alcotest.(check (float 1.0)) "a100 peak" 312.0 (D.peak_tflops D.a100);
+  Alcotest.(check (float 1.0)) "t4 peak" 65.0 (D.peak_tflops D.t4);
+  Alcotest.(check bool) "dlboost has vnni" true (D.has_intrinsic D.dlboost);
+  Alcotest.(check (option int)) "shared cap" (Some 49152) (D.scope_capacity D.v100 "shared")
+
+let test_valid_solution_passes () =
+  let gen, a = solve_gemm D.v100 in
+  Alcotest.(check bool) "valid" true (Validate.is_valid D.v100 (instantiate gen a))
+
+let test_bad_intrinsic_shape () =
+  let gen, a = solve_gemm D.v100 in
+  (* Force a wmma shape whose product is not 4096. *)
+  let bad = Assignment.set (Assignment.set a "intrin_m" 32) "intrin_k" 32 in
+  let bad = Assignment.set bad "intrin_n" 32 in
+  (* Keep coverage consistent is impossible here, so only shape-check
+     first: coverage failure or bad shape are both violations. *)
+  match Validate.check D.v100 (instantiate gen bad) with
+  | Ok () -> Alcotest.fail "must be rejected"
+  | Error _ -> ()
+
+let test_smem_overflow_detected () =
+  let gen, a = solve_gemm ~m:4096 ~n:4096 ~k:4096 D.v100 in
+  (* Blow up the A tile rows beyond any capacity while keeping the product
+     chain broken — validator must reject either way; look specifically for
+     a memory violation by inflating the C.shared select length. *)
+  let huge = Assignment.set a "len_Cs_row" 4096 in
+  let huge = Assignment.set huge "len_Cs_col" 4096 in
+  match Validate.check D.v100 (instantiate gen huge) with
+  | Error (Violation.Spm_overflow { scope = "shared"; _ }) -> ()
+  | Error v -> Alcotest.failf "expected smem overflow, got %s" (Violation.to_string v)
+  | Ok () -> Alcotest.fail "16M C tile cannot fit in 48K"
+
+let test_bad_vector_length () =
+  let gen, a = solve_gemm D.v100 in
+  let bad = Assignment.set a "vec_a" 3 in
+  match Validate.check D.v100 (instantiate gen bad) with
+  | Error (Violation.Bad_vector_length 3) -> ()
+  | Error v -> Alcotest.failf "expected vector violation, got %s" (Violation.to_string v)
+  | Ok () -> Alcotest.fail "vector width 3 unsupported"
+
+let test_coverage_violation () =
+  let gen, a = solve_gemm D.v100 in
+  let bad = Assignment.set a "tile_i_block" (Assignment.get a "tile_i_block" * 2) in
+  match Validate.check D.v100 (instantiate gen bad) with
+  | Error (Violation.Coverage _) -> ()
+  | Error v -> Alcotest.failf "expected coverage, got %s" (Violation.to_string v)
+  | Ok () -> Alcotest.fail "broken tiling must be rejected"
+
+let test_vta_loop_order () =
+  let op = Op.gemm ~dt:Op.I8 ~m:64 ~n:256 ~k:256 () in
+  let gen = Heron.Generator.generate D.vta op in
+  match Solver.solve (Rng.create 5) gen.Heron.Generator.problem with
+  | None -> Alcotest.fail "satisfiable"
+  | Some a ->
+      Alcotest.(check bool) "heron sample valid" true
+        (Validate.is_valid D.vta (instantiate gen a));
+      (* tile_j_tile = 1 makes a reduction loop innermost above the tile. *)
+      let jt = Assignment.get a "tile_j_tile" in
+      let bad = Assignment.set a "tile_j_tile" 1 in
+      let bad = Assignment.set bad "tile_j_out" (Assignment.get a "tile_j_out" * jt) in
+      let prog = instantiate gen bad in
+      if Concrete.coverage_errors prog = [] then begin
+        match Validate.check D.vta prog with
+        | Error (Violation.Bad_loop_order _) -> ()
+        | Error v -> Alcotest.failf "expected loop order, got %s" (Violation.to_string v)
+        | Ok () ->
+            (* Valid only if no reduction loop remains above the tile. *)
+            let c = Concrete.compute_stage prog in
+            let has_red =
+              List.exists
+                (fun (l : Concrete.cloop) ->
+                  l.Concrete.kind = Op.Reduction && l.Concrete.extent > 1
+                  && l.Concrete.ann <> Concrete.Tensorized)
+                (Concrete.loop_path prog c)
+            in
+            Alcotest.(check bool) "only valid without reductions" false has_red
+      end
+
+let test_missing_tensorize_vta () =
+  (* A scan cannot be tensorized; VTA must reject it. *)
+  let op = Op.scan ~b:16 ~l:64 () in
+  let gen = Heron.Generator.generate D.vta op in
+  match Solver.solve (Rng.create 2) gen.Heron.Generator.problem with
+  | None -> Alcotest.fail "scan space is satisfiable"
+  | Some a -> (
+      match Validate.check D.vta (instantiate gen a) with
+      | Error Violation.Missing_tensorize -> ()
+      | Error v -> Alcotest.failf "expected missing tensorize, got %s" (Violation.to_string v)
+      | Ok () -> Alcotest.fail "VTA has no scalar path")
+
+let test_perf_deterministic () =
+  let gen, a = solve_gemm D.v100 in
+  let prog = instantiate gen a in
+  Alcotest.(check (float 1e-9)) "deterministic" (Perf.latency_us D.v100 prog)
+    (Perf.latency_us D.v100 prog)
+
+let test_perf_positive_and_bounded () =
+  let gen, a = solve_gemm D.v100 in
+  let prog = instantiate gen a in
+  let b = Perf.analyze D.v100 prog in
+  Alcotest.(check bool) "latency positive" true (b.Perf.latency_us > 0.0);
+  Alcotest.(check bool) "utilization in (0,1]" true
+    (b.Perf.utilization > 0.0 && b.Perf.utilization <= 1.0);
+  (* Achieved throughput can never exceed the descriptor peak. *)
+  let tflops = Perf.achieved_tflops (Op.gemm ~m:256 ~n:256 ~k:256 ()) b.Perf.latency_us in
+  Alcotest.(check bool) "below peak" true (tflops <= D.peak_tflops D.v100)
+
+let test_perf_occupancy_effect () =
+  (* Same tiles, more warps => the model must not get slower. *)
+  let gen, a = solve_gemm ~m:1024 ~n:1024 ~k:256 D.v100 in
+  let warp_i = Assignment.get a "tile_i_warp" in
+  if warp_i = 1 && Assignment.get a "tile_i_tile" mod 2 = 0 then begin
+    let more =
+      Assignment.set
+        (Assignment.set a "tile_i_warp" 2)
+        "tile_i_tile"
+        (Assignment.get a "tile_i_tile" / 2)
+    in
+    let l1 = Perf.latency_us D.v100 (instantiate gen a) in
+    let l2 = Perf.latency_us D.v100 (instantiate gen more) in
+    Alcotest.(check bool) "more warps helps or ties (within noise)" true
+      (l2 <= l1 *. 1.15)
+  end
+
+let test_bank_conflict_effect () =
+  (* A padded shared tile with a conflict-free row must not be slower than
+     the same tile with a 128-byte-aligned (conflicting) row. *)
+  let gen, a = solve_gemm ~m:1024 ~n:1024 ~k:1024 D.v100 in
+  let col = Assignment.get a "len_As_col" in
+  if col * 2 mod 128 = 0 then begin
+    let padded = Assignment.set a "pad_a" 8 in
+    let unpadded = Assignment.set a "pad_a" 0 in
+    let lp = Perf.latency_us D.v100 (instantiate gen padded) in
+    let lu = Perf.latency_us D.v100 (instantiate gen unpadded) in
+    Alcotest.(check bool) "padding avoids conflicts" true (lp <= lu *. 1.1)
+  end
+
+let test_measure_counts_and_average () =
+  let gen, a = solve_gemm D.v100 in
+  let m = Measure.create ~reps:5 D.v100 in
+  let prog = instantiate gen a in
+  (match Measure.run m prog with
+  | Error v -> Alcotest.failf "valid program: %s" (Violation.to_string v)
+  | Ok l ->
+      let base = Perf.latency_us D.v100 prog in
+      Alcotest.(check bool) "close to model" true (abs_float (l -. base) < 0.02 *. base));
+  ignore (Measure.run m prog);
+  Alcotest.(check int) "count" 2 m.Measure.count
+
+let test_measure_rejects_invalid () =
+  let gen, a = solve_gemm D.v100 in
+  let m = Measure.create D.v100 in
+  let bad = Assignment.set a "vec_b" 5 in
+  match Measure.run m (instantiate gen bad) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid program must not measure"
+
+let test_faster_hardware_is_faster () =
+  (* The same program on A100 must beat V100 which must beat T4. *)
+  let op = Op.gemm ~m:1024 ~n:1024 ~k:1024 () in
+  let gen = Heron.Generator.generate D.v100 op in
+  match Solver.solve (Rng.create 11) gen.Heron.Generator.problem with
+  | None -> Alcotest.fail "satisfiable"
+  | Some a ->
+      let prog = instantiate gen a in
+      let l_v100 = Perf.latency_us D.v100 prog in
+      let l_a100 = Perf.latency_us D.a100 prog in
+      let l_t4 = Perf.latency_us D.t4 prog in
+      Alcotest.(check bool) "a100 < v100" true (l_a100 < l_v100);
+      Alcotest.(check bool) "v100 < t4" true (l_v100 < l_t4)
+
+let test_explain_report () =
+  let gen, a = solve_gemm D.v100 in
+  let report = Heron_dla.Explain.report D.v100 (instantiate gen a) in
+  let contains needle =
+    let n = String.length needle and m = String.length report in
+    let rec go i = i + n <= m && (String.sub report i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "valid line" true (contains "validity: ok");
+  Alcotest.(check bool) "shared usage" true (contains "scratchpad shared");
+  Alcotest.(check bool) "latency line" true (contains "latency:")
+
+let suite =
+  [
+    Alcotest.test_case "wmma shape set" `Quick test_descriptor_shapes;
+    Alcotest.test_case "descriptor peaks" `Quick test_descriptor_peaks;
+    Alcotest.test_case "valid solution passes" `Quick test_valid_solution_passes;
+    Alcotest.test_case "bad intrinsic shape" `Quick test_bad_intrinsic_shape;
+    Alcotest.test_case "smem overflow" `Quick test_smem_overflow_detected;
+    Alcotest.test_case "bad vector length" `Quick test_bad_vector_length;
+    Alcotest.test_case "coverage violation" `Quick test_coverage_violation;
+    Alcotest.test_case "vta loop order" `Quick test_vta_loop_order;
+    Alcotest.test_case "vta missing tensorize" `Quick test_missing_tensorize_vta;
+    Alcotest.test_case "perf deterministic" `Quick test_perf_deterministic;
+    Alcotest.test_case "perf positive/bounded" `Quick test_perf_positive_and_bounded;
+    Alcotest.test_case "occupancy effect" `Quick test_perf_occupancy_effect;
+    Alcotest.test_case "bank conflict effect" `Quick test_bank_conflict_effect;
+    Alcotest.test_case "measurer averaging" `Quick test_measure_counts_and_average;
+    Alcotest.test_case "measurer rejects invalid" `Quick test_measure_rejects_invalid;
+    Alcotest.test_case "hardware ordering" `Quick test_faster_hardware_is_faster;
+    Alcotest.test_case "explain report" `Quick test_explain_report;
+  ]

@@ -1,0 +1,175 @@
+(* Tests for the extensions beyond the paper's three evaluated DLAs: the
+   TPU/Cambricon descriptors (paper Table 3), the pseudo-code generator,
+   and the persistent tuned-schedule library. *)
+
+module Op = Heron_tensor.Op
+module Solver = Heron_csp.Solver
+module Assignment = Heron_csp.Assignment
+module Concrete = Heron_sched.Concrete
+module D = Heron_dla.Descriptor
+module Validate = Heron_dla.Validate
+module Rng = Heron_util.Rng
+module Generator = Heron.Generator
+module Codegen = Heron.Codegen
+module Library = Heron.Library
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let sample desc op seed =
+  let gen = Generator.generate desc op in
+  match Solver.solve (Rng.create seed) gen.Generator.problem with
+  | None -> Alcotest.fail ("unsatisfiable space on " ^ desc.D.dname)
+  | Some a -> (gen, Concrete.instantiate gen.Generator.template a)
+
+let test_tpu_space () =
+  (* TPU admits only (1, 256, 256) tiles; n and k must be multiples. *)
+  let op = Op.gemm ~dt:Op.I8 ~m:512 ~n:1024 ~k:1024 () in
+  let gen = Generator.generate D.tpu op in
+  Alcotest.(check bool) "tensorized" true gen.Generator.tensorized;
+  let sols = Solver.rand_sat (Rng.create 3) gen.Generator.problem 10 in
+  Alcotest.(check bool) "satisfiable" true (sols <> []);
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "n tile" 256 (Assignment.get a "intrin_n");
+      let prog = Concrete.instantiate gen.Generator.template a in
+      Alcotest.(check bool) "valid" true (Validate.is_valid D.tpu prog))
+    sols
+
+let test_tpu_rejects_small_n () =
+  (* N = 64 cannot host a 256-wide tile: the space must be unsatisfiable
+     and the generator reports the (non-existent) scalar path instead. *)
+  let op = Op.gemm ~dt:Op.I8 ~m:512 ~n:64 ~k:1024 () in
+  let gen = Generator.build D.tpu op ~tensorize:true in
+  Alcotest.(check bool) "unsat" false (Generator.satisfiable gen.Generator.problem)
+
+let test_cambricon_space () =
+  let op = Op.gemm ~dt:Op.I8 ~m:256 ~n:512 ~k:512 () in
+  let gen = Generator.generate D.cambricon op in
+  let sols = Solver.rand_sat (Rng.create 5) gen.Generator.problem 10 in
+  Alcotest.(check bool) "satisfiable" true (sols <> []);
+  let tile_ns = List.sort_uniq compare (List.map (fun a -> Assignment.get a "intrin_n") sols) in
+  Alcotest.(check bool) "flexible tiles explored" true (List.length tile_ns >= 1);
+  List.iter
+    (fun a ->
+      let prog = Concrete.instantiate gen.Generator.template a in
+      Alcotest.(check bool) "valid" true (Validate.is_valid D.cambricon prog))
+    sols
+
+let test_codegen_tensorcore () =
+  let _, prog = sample D.v100 (Op.gemm ~m:256 ~n:256 ~k:256 ()) 7 in
+  let code = Codegen.emit D.v100 prog in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains code needle))
+    [ "wmma::mma_sync"; "__shared__"; "blockIdx"; "kernel<<<"; "for (" ]
+
+let test_codegen_vta () =
+  let _, prog = sample D.vta (Op.gemm ~dt:Op.I8 ~m:64 ~n:256 ~k:256 ()) 7 in
+  let code = Codegen.emit D.vta prog in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains code needle))
+    [ "vta.gemm"; "VTA_WGT_BUFF" ]
+
+let test_codegen_dlboost () =
+  let _, prog = sample D.dlboost (Op.gemm ~dt:Op.I8 ~m:256 ~n:256 ~k:256 ()) 8 in
+  let code = Codegen.emit D.dlboost prog in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains code needle))
+    [ "_mm512_dpbusd_epi32"; "omp parallel" ]
+
+let test_tpu_capacity_enforced () =
+  (* Inflating the selected A-tile length beyond the unified buffer must be
+     rejected by the validator (and is excluded by Heron's CSP). *)
+  let op = Op.gemm ~dt:Op.I8 ~m:8192 ~n:1024 ~k:8192 () in
+  let gen = Generator.generate D.tpu op in
+  match Solver.solve (Rng.create 4) gen.Generator.problem with
+  | None -> Alcotest.fail "satisfiable"
+  | Some a ->
+      let huge = Assignment.set (Assignment.set a "aux_i_1" 8192) "len_Al_col" 8192 in
+      let prog = Concrete.instantiate gen.Generator.template huge in
+      (match Heron_dla.Validate.check D.tpu prog with
+      | Ok () ->
+          (* 8192 x 8192 = 64 MB > 24 MB l2: must not validate unless the
+             coverage check fired first, which is also a rejection. *)
+          Alcotest.fail "oversized tile must be rejected"
+      | Error _ -> ())
+
+let test_codegen_balanced_braces () =
+  let _, prog = sample D.v100 (Op.gemm ~m:512 ~n:512 ~k:512 ()) 9 in
+  let code = Codegen.emit D.v100 prog in
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 code in
+  Alcotest.(check int) "braces balanced" (count '{') (count '}')
+
+let test_library_roundtrip () =
+  let op = Op.gemm ~m:256 ~n:256 ~k:256 () in
+  let gen, prog = sample D.v100 op 11 in
+  ignore gen;
+  let lib =
+    Library.add Library.empty D.v100 op ~latency_us:123.5 prog.Concrete.assignment
+  in
+  Alcotest.(check int) "one entry" 1 (Library.size lib);
+  let path = Filename.temp_file "heron_lib" ".txt" in
+  Library.save lib path;
+  let lib' = Library.load path in
+  Sys.remove path;
+  Alcotest.(check int) "loaded" 1 (Library.size lib');
+  match Library.lookup lib' D.v100 op with
+  | None -> Alcotest.fail "entry must be found"
+  | Some e ->
+      Alcotest.(check (float 1e-6)) "latency" 123.5 e.Library.latency_us;
+      Alcotest.(check bool) "assignment preserved" true
+        (Assignment.equal e.Library.assignment prog.Concrete.assignment);
+      (* Re-materialized program is valid. *)
+      let prog' = Library.program_of e D.v100 op in
+      Alcotest.(check bool) "valid program" true (Validate.is_valid D.v100 prog')
+
+let test_library_keeps_best () =
+  let op = Op.gemm ~m:256 ~n:256 ~k:256 () in
+  let _, prog = sample D.v100 op 12 in
+  let a = prog.Concrete.assignment in
+  let lib = Library.add Library.empty D.v100 op ~latency_us:100.0 a in
+  let lib = Library.add lib D.v100 op ~latency_us:200.0 a in
+  (match Library.lookup lib D.v100 op with
+  | Some e -> Alcotest.(check (float 1e-9)) "kept faster" 100.0 e.Library.latency_us
+  | None -> Alcotest.fail "present");
+  let lib = Library.add lib D.v100 op ~latency_us:50.0 a in
+  match Library.lookup lib D.v100 op with
+  | Some e -> Alcotest.(check (float 1e-9)) "replaced by faster" 50.0 e.Library.latency_us
+  | None -> Alcotest.fail "present"
+
+let test_library_build () =
+  let ops = [ Op.gemm ~m:256 ~n:256 ~k:256 (); Op.gemm ~m:512 ~n:256 ~k:128 () ] in
+  let lib = Library.build ~budget:16 ~seed:13 D.v100 ops in
+  Alcotest.(check int) "two entries" 2 (Library.size lib);
+  List.iter
+    (fun (e : Library.entry) ->
+      Alcotest.(check bool) "positive latency" true (e.Library.latency_us > 0.0))
+    (Library.entries lib)
+
+let test_library_key_distinguishes () =
+  let k1 = Library.op_key (Op.gemm ~m:256 ~n:256 ~k:256 ()) in
+  let k2 = Library.op_key (Op.gemm ~m:256 ~n:256 ~k:512 ()) in
+  let k3 = Library.op_key (Op.gemm ~dt:Op.I8 ~m:256 ~n:256 ~k:256 ()) in
+  Alcotest.(check bool) "shape" true (k1 <> k2);
+  Alcotest.(check bool) "dtype" true (k1 <> k3)
+
+let suite =
+  [
+    Alcotest.test_case "tpu space valid" `Quick test_tpu_space;
+    Alcotest.test_case "tpu rejects small n" `Quick test_tpu_rejects_small_n;
+    Alcotest.test_case "cambricon space valid" `Quick test_cambricon_space;
+    Alcotest.test_case "codegen tensorcore" `Quick test_codegen_tensorcore;
+    Alcotest.test_case "codegen vta" `Quick test_codegen_vta;
+    Alcotest.test_case "codegen dlboost" `Quick test_codegen_dlboost;
+    Alcotest.test_case "tpu capacity enforced" `Quick test_tpu_capacity_enforced;
+    Alcotest.test_case "codegen braces balanced" `Quick test_codegen_balanced_braces;
+    Alcotest.test_case "library roundtrip" `Quick test_library_roundtrip;
+    Alcotest.test_case "library keeps best" `Quick test_library_keeps_best;
+    Alcotest.test_case "library build" `Quick test_library_build;
+    Alcotest.test_case "library op keys" `Quick test_library_key_distinguishes;
+  ]

@@ -1,0 +1,17 @@
+(* Test driver: one alcotest binary aggregating every module's suite. *)
+
+let () =
+  Alcotest.run "heron"
+    [
+      ("util", Test_util.suite);
+      ("tensor", Test_tensor.suite);
+      ("csp", Test_csp.suite);
+      ("sched", Test_sched.suite);
+      ("dla", Test_dla.suite);
+      ("costmodel", Test_cost.suite);
+      ("search", Test_search.suite);
+      ("core", Test_core.suite);
+      ("baselines", Test_baselines.suite);
+      ("extensions", Test_extensions.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the schedule IR: instantiation, loop paths, footprints, and
+   the end-to-end numeric check that a CSP solution instantiates to a
+   semantically correct program (tile executor vs reference interpreter). *)
+
+module Op = Heron_tensor.Op
+module Ref_exec = Heron_tensor.Ref_exec
+module Template = Heron_sched.Template
+module Concrete = Heron_sched.Concrete
+module Tile_exec = Heron_sched.Tile_exec
+module Prim = Heron_sched.Prim
+module Assignment = Heron_csp.Assignment
+module Solver = Heron_csp.Solver
+module D = Heron_dla.Descriptor
+module Rng = Heron_util.Rng
+
+(* A tiny hand-built template: one stage, i split in two. *)
+let toy_template () =
+  let op = Op.gemm ~m:8 ~n:4 ~k:2 () in
+  let loop name var origin kind ann =
+    { Template.lname = name; extent_var = var; origin; kind; ann }
+  in
+  {
+    Template.op;
+    stages =
+      [
+        {
+          Template.sname = "C";
+          scope = "local";
+          loops =
+            [
+              loop "i.o" "io" "i" Op.Spatial Template.Plain;
+              loop "i.i" "ii" "i" Op.Spatial (Template.Unrolled "u");
+              loop "j" "j" "j" Op.Spatial (Template.Vectorized "v");
+              loop "r" "r" "r" Op.Reduction Template.Plain;
+            ];
+          attach = Template.Root;
+          role = Template.Compute;
+          align_pad = None;
+        };
+      ];
+    prims = [];
+    intrin = None;
+  }
+
+let toy_assignment =
+  Assignment.of_list [ ("io", 4); ("ii", 2); ("j", 4); ("r", 2); ("u", 16); ("v", 4) ]
+
+let test_instantiate () =
+  let prog = Concrete.instantiate (toy_template ()) toy_assignment in
+  let stage = Concrete.compute_stage prog in
+  Alcotest.(check int) "loops" 4 (List.length stage.Concrete.loops);
+  let exts = List.map (fun (l : Concrete.cloop) -> l.Concrete.extent) stage.Concrete.loops in
+  Alcotest.(check (list int)) "extents" [ 4; 2; 4; 2 ] exts;
+  (match (List.nth stage.Concrete.loops 1).Concrete.ann with
+  | Concrete.Unrolled 16 -> ()
+  | _ -> Alcotest.fail "unroll annotation resolved");
+  match (List.nth stage.Concrete.loops 2).Concrete.ann with
+  | Concrete.Vectorized 4 -> ()
+  | _ -> Alcotest.fail "vector annotation resolved"
+
+let test_instantiate_missing_var () =
+  Alcotest.check_raises "missing variable"
+    (Invalid_argument "Concrete.instantiate: unbound variable v") (fun () ->
+      ignore
+        (Concrete.instantiate (toy_template ())
+           (Assignment.of_list [ ("io", 4); ("ii", 2); ("j", 4); ("r", 2); ("u", 16) ])))
+
+let test_coverage () =
+  let prog = Concrete.instantiate (toy_template ()) toy_assignment in
+  Alcotest.(check (list string)) "covers" [] (Concrete.coverage_errors prog);
+  let bad = Assignment.set toy_assignment "io" 2 in
+  let prog = Concrete.instantiate (toy_template ()) bad in
+  Alcotest.(check bool) "mismatch detected" true (Concrete.coverage_errors prog <> [])
+
+let test_footprint () =
+  let prog = Concrete.instantiate (toy_template ()) toy_assignment in
+  let stage = Concrete.compute_stage prog in
+  Alcotest.(check int) "elems" (4 * 2 * 4 * 2) (Concrete.footprint_elems stage)
+
+let test_toy_tile_exec () =
+  let tpl = toy_template () in
+  let prog = Concrete.instantiate tpl toy_assignment in
+  let rng = Rng.create 1 in
+  let inputs =
+    List.map
+      (fun (name, n) -> (name, Array.init n (fun _ -> Rng.float rng -. 0.5)))
+      (Ref_exec.input_sizes tpl.Template.op)
+  in
+  match Tile_exec.run prog inputs with
+  | Error e -> Alcotest.fail e
+  | Ok got ->
+      let want = Ref_exec.run tpl.Template.op inputs in
+      Array.iteri
+        (fun i x ->
+          if abs_float (x -. got.(i)) > 1e-6 then Alcotest.failf "mismatch at %d" i)
+        want
+
+(* The central integration property: every solution of the generated
+   constrained space instantiates to a program whose tiled execution equals
+   the reference semantics. *)
+let check_generated_numerics desc op ~solutions =
+  let gen = Heron.Generator.generate desc op in
+  let rng = Rng.create 77 in
+  let sols = Solver.rand_sat rng gen.Heron.Generator.problem solutions in
+  Alcotest.(check bool) "got solutions" true (sols <> []);
+  let sched_op = gen.Heron.Generator.template.Template.op in
+  let inputs =
+    List.map
+      (fun (name, n) -> (name, Array.init n (fun _ -> Rng.float rng -. 0.5)))
+      (Ref_exec.input_sizes sched_op)
+  in
+  let want = Ref_exec.run sched_op inputs in
+  List.iter
+    (fun a ->
+      let prog = Concrete.instantiate gen.Heron.Generator.template a in
+      match Tile_exec.run prog inputs with
+      | Error e -> Alcotest.fail e
+      | Ok got ->
+          Array.iteri
+            (fun i x ->
+              if abs_float (x -. got.(i)) > 1e-4 *. (1.0 +. abs_float x) then
+                Alcotest.failf "numeric mismatch at %d: %f vs %f" i x got.(i))
+            want)
+    sols
+
+let test_generated_gemm_numerics () =
+  check_generated_numerics D.v100 (Op.gemm ~m:32 ~n:32 ~k:32 ()) ~solutions:5
+
+let test_generated_conv_numerics () =
+  (* Small conv whose im2col dims still admit the intrinsic. *)
+  check_generated_numerics D.vta
+    (Op.conv2d ~dt:Op.I8 ~n:1 ~ci:16 ~h:4 ~w:4 ~co:64 ~kh:1 ~kw:1 ~stride:1 ~pad:0 ())
+    ~solutions:3
+
+let test_generated_fused_numerics () =
+  (* A tuned gemm+relu program matches the fused reference end to end. *)
+  check_generated_numerics D.v100 (Op.fuse_post (Op.gemm ~m:32 ~n:32 ~k:32 ()) Op.Relu)
+    ~solutions:3
+
+let test_generated_dlboost_numerics () =
+  check_generated_numerics D.dlboost (Op.gemm ~dt:Op.I8 ~m:8 ~n:16 ~k:16 ()) ~solutions:4
+
+let test_loop_path_nesting () =
+  let op = Op.gemm ~m:64 ~n:64 ~k:64 () in
+  let gen = Heron.Generator.generate D.v100 op in
+  match Solver.solve (Rng.create 3) gen.Heron.Generator.problem with
+  | None -> Alcotest.fail "satisfiable"
+  | Some a ->
+      let prog = Concrete.instantiate gen.Heron.Generator.template a in
+      let compute = Concrete.compute_stage prog in
+      let path = Concrete.loop_path prog compute in
+      (* Path = store loops above the attach point + compute's own loops. *)
+      Alcotest.(check bool) "path longer than own loops" true
+        (List.length path > List.length compute.Concrete.loops);
+      let own = List.length compute.Concrete.loops in
+      let tail = List.filteri (fun i _ -> i >= List.length path - own) path in
+      Alcotest.(check (list string)) "own loops are the suffix"
+        (List.map (fun (l : Concrete.cloop) -> l.Concrete.name) compute.Concrete.loops)
+        (List.map (fun (l : Concrete.cloop) -> l.Concrete.name) tail)
+
+let test_align_pad_footprint () =
+  let op = Op.gemm ~m:64 ~n:64 ~k:64 () in
+  let gen = Heron.Generator.generate D.v100 op in
+  match Solver.solve (Rng.create 4) gen.Heron.Generator.problem with
+  | None -> Alcotest.fail "satisfiable"
+  | Some a ->
+      let a8 = Assignment.set a "pad_a" 8 and a0 = Assignment.set a "pad_a" 0 in
+      let f pad_a =
+        let prog = Concrete.instantiate gen.Heron.Generator.template pad_a in
+        Concrete.footprint_bytes prog (Concrete.find_stage prog "A.shared")
+      in
+      let rows = Assignment.get a "aux_i_1" in
+      Alcotest.(check int) "padding adds 2 bytes per row * 8" (rows * 8 * 2) (f a8 - f a0)
+
+let test_axis_extent () =
+  let op = Op.gemm ~m:128 ~n:128 ~k:64 () in
+  let gen = Heron.Generator.generate D.v100 op in
+  match Solver.solve (Rng.create 5) gen.Heron.Generator.problem with
+  | None -> Alcotest.fail "satisfiable"
+  | Some a ->
+      let prog = Concrete.instantiate gen.Heron.Generator.template a in
+      let warps = Concrete.axis_extent prog Prim.Thread_y in
+      Alcotest.(check int) "warps = warp tile product"
+        (Assignment.get a "tile_i_warp" * Assignment.get a "tile_j_warp")
+        warps;
+      let blocks =
+        Concrete.axis_extent prog Prim.Block_x * Concrete.axis_extent prog Prim.Block_y
+      in
+      Alcotest.(check int) "blocks = block tiles"
+        (Assignment.get a "tile_i_block" * Assignment.get a "tile_j_block")
+        blocks
+
+let test_coverage_property_many_samples () =
+  (* Every solution of the constrained space covers the iteration space
+     exactly (50 samples across two shapes). *)
+  List.iter
+    (fun op ->
+      let gen = Heron.Generator.generate D.v100 op in
+      let sols = Solver.rand_sat (Rng.create 123) gen.Heron.Generator.problem 25 in
+      List.iter
+        (fun a ->
+          let prog = Concrete.instantiate gen.Heron.Generator.template a in
+          Alcotest.(check (list string)) "covers" [] (Concrete.coverage_errors prog))
+        sols)
+    [ Op.gemm ~m:1024 ~n:1024 ~k:1024 (); Op.gemm ~m:32 ~n:1000 ~k:2048 () ]
+
+let suite =
+  [
+    Alcotest.test_case "instantiate" `Quick test_instantiate;
+    Alcotest.test_case "instantiate missing var" `Quick test_instantiate_missing_var;
+    Alcotest.test_case "coverage check" `Quick test_coverage;
+    Alcotest.test_case "footprint" `Quick test_footprint;
+    Alcotest.test_case "toy tile exec" `Quick test_toy_tile_exec;
+    Alcotest.test_case "generated gemm numerics (V100)" `Quick test_generated_gemm_numerics;
+    Alcotest.test_case "generated conv numerics (VTA)" `Quick test_generated_conv_numerics;
+    Alcotest.test_case "generated gemm numerics (DLBoost)" `Quick
+      test_generated_dlboost_numerics;
+    Alcotest.test_case "generated fused gemm+relu numerics" `Quick
+      test_generated_fused_numerics;
+    Alcotest.test_case "loop path nesting" `Quick test_loop_path_nesting;
+    Alcotest.test_case "storage_align footprint" `Quick test_align_pad_footprint;
+    Alcotest.test_case "thread axis extents" `Quick test_axis_extent;
+    Alcotest.test_case "coverage property (50 samples)" `Quick
+      test_coverage_property_many_samples;
+  ]

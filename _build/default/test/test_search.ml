@@ -1,0 +1,211 @@
+(* Tests for the search algorithms, centered on the paper's core claims:
+   constraint-based crossover/mutation always yields valid offspring, and
+   CGA optimizes constrained problems (checked end-to-end on the paper's
+   Figure 5 toy problem). *)
+
+module Domain = Heron_csp.Domain
+module Cons = Heron_csp.Cons
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Solver = Heron_csp.Solver
+module Env = Heron_search.Env
+module Cga = Heron_search.Cga
+module Baselines = Heron_search.Baselines
+module Rng = Heron_util.Rng
+
+(* The paper's Figure 5 problem: maximize 0.4x + 0.6y + 0.01z subject to
+   x*y <= 8, x,y in 1..5, z in {0,1}. Optimum: x=2, y=4 (or x=1,y=5
+   scoring 0.8+... compare: x2y4 = 0.8+2.4 = 3.2; x1y5 = 0.4+3.0 = 3.4;
+   wait x*y<=8 admits (1,5): 5<=8 -> 3.4 + z. So best is x=1,y=5,z=1. *)
+let fig5_problem () =
+  let b = Problem.builder () in
+  Problem.add_var b "x" (Domain.of_list [ 1; 2; 3; 4; 5 ]);
+  Problem.add_var b "y" (Domain.of_list [ 1; 2; 3; 4; 5 ]);
+  Problem.add_var b "z" (Domain.of_list [ 0; 1 ]);
+  Problem.add_var b "xy" (Domain.of_list (List.init 8 (fun i -> i + 1)));
+  Problem.add_cons b (Cons.Prod ("xy", [ "x"; "y" ]));
+  Problem.freeze b
+
+let fig5_objective a =
+  (0.4 *. float_of_int (Assignment.get a "x"))
+  +. (0.6 *. float_of_int (Assignment.get a "y"))
+  +. (0.01 *. float_of_int (Assignment.get a "z"))
+
+(* Wrap the objective as a latency so that maximizing fitness = maximizing
+   the objective. *)
+let fig5_env seed =
+  let p = fig5_problem () in
+  {
+    Env.problem = p;
+    measure =
+      (fun a ->
+        if Problem.check p a = Ok () then Some (1000.0 /. fig5_objective a) else None);
+    rng = Rng.create seed;
+  }
+
+let test_fig5_optimum_known () =
+  let p = fig5_problem () in
+  let sols = Solver.enumerate p in
+  let best = List.fold_left (fun acc a -> max acc (fig5_objective a)) 0.0 sols in
+  Alcotest.(check (float 1e-9)) "optimum" 3.41 best
+
+let test_cga_finds_fig5_optimum () =
+  let outcome = Cga.run (fig5_env 1) ~budget:60 in
+  match outcome.Cga.result.Env.best_assignment with
+  | None -> Alcotest.fail "must find something"
+  | Some a -> Alcotest.(check (float 0.02)) "optimal" 3.41 (fig5_objective a)
+
+let test_crossover_offspring_valid () =
+  (* Offspring of constraint-based crossover always satisfy CSP_initial. *)
+  let p = fig5_problem () in
+  let rng = Rng.create 5 in
+  let parents = Array.of_list (Solver.rand_sat rng p 6) in
+  let csps = Cga.crossover_csps rng p ~keys:[ "x"; "y" ] ~parents ~n:40 in
+  let offspring = List.filter_map (fun csp -> Solver.solve rng csp) csps in
+  Alcotest.(check bool) "some offspring" true (List.length offspring > 10);
+  List.iter
+    (fun a -> Alcotest.(check bool) "valid" true (Problem.check p a = Ok ()))
+    offspring
+
+let test_crossover_inherits_keys () =
+  (* Without mutation, every kept key variable takes a parental value. *)
+  let p = fig5_problem () in
+  let rng = Rng.create 6 in
+  let pa = Assignment.of_list [ ("x", 1); ("y", 5); ("z", 0); ("xy", 5) ] in
+  let pb = Assignment.of_list [ ("x", 2); ("y", 4); ("z", 1); ("xy", 8) ] in
+  let csps = Cga.crossover_csps ~mutation:false rng p ~keys:[ "x"; "y" ] ~parents:[| pa; pb |] ~n:30 in
+  List.iter
+    (fun csp ->
+      match Solver.solve rng csp with
+      | None -> ()
+      | Some child ->
+          Alcotest.(check bool) "x from a parent" true
+            (List.mem (Assignment.get child "x") [ 1; 2 ]);
+          Alcotest.(check bool) "y from a parent" true
+            (List.mem (Assignment.get child "y") [ 4; 5 ]))
+    csps
+
+let test_crossover_mutation_drops_one () =
+  let p = fig5_problem () in
+  let rng = Rng.create 7 in
+  let parents = Array.of_list (Solver.rand_sat rng p 4) in
+  let with_m = Cga.crossover_csps ~mutation:true rng p ~keys:[ "x"; "y"; "z" ] ~parents ~n:10 in
+  let without = Cga.crossover_csps ~mutation:false rng p ~keys:[ "x"; "y"; "z" ] ~parents ~n:10 in
+  List.iter
+    (fun csp -> Alcotest.(check int) "2 extra constraints" (Problem.n_cons p + 2) (Problem.n_cons csp))
+    with_m;
+  List.iter
+    (fun csp -> Alcotest.(check int) "3 extra constraints" (Problem.n_cons p + 3) (Problem.n_cons csp))
+    without
+
+let test_recorder_budget_and_cache () =
+  let env = fig5_env 2 in
+  let r = Env.Recorder.create env ~budget:5 in
+  let a = Assignment.of_list [ ("x", 1); ("y", 5); ("z", 1); ("xy", 5) ] in
+  let first = Env.Recorder.eval r a in
+  Alcotest.(check bool) "measured" true (first <> None);
+  (* Replays do not consume budget. *)
+  for _ = 1 to 10 do
+    ignore (Env.Recorder.eval r a)
+  done;
+  Alcotest.(check int) "only one step" 4 (Env.Recorder.steps_left r);
+  Alcotest.(check bool) "seen" true (Env.Recorder.seen r a);
+  let result = Env.Recorder.finish r in
+  Alcotest.(check int) "trace length" 1 (List.length result.Env.trace)
+
+let test_recorder_tracks_best () =
+  let env = fig5_env 3 in
+  let r = Env.Recorder.create env ~budget:10 in
+  let a1 = Assignment.of_list [ ("x", 1); ("y", 1); ("z", 0); ("xy", 1) ] in
+  let a2 = Assignment.of_list [ ("x", 1); ("y", 5); ("z", 1); ("xy", 5) ] in
+  ignore (Env.Recorder.eval r a1);
+  ignore (Env.Recorder.eval r a2);
+  let res = Env.Recorder.finish r in
+  (match res.Env.best_assignment with
+  | Some b -> Alcotest.(check bool) "best is a2" true (Assignment.equal b a2)
+  | None -> Alcotest.fail "has best");
+  Alcotest.(check int) "no invalid" 0 res.Env.invalid
+
+let test_recorder_counts_invalid () =
+  let env = fig5_env 4 in
+  let r = Env.Recorder.create env ~budget:10 in
+  let bad = Assignment.of_list [ ("x", 5); ("y", 5); ("z", 0); ("xy", 8) ] in
+  Alcotest.(check bool) "invalid measure" true (Env.Recorder.eval r bad = None);
+  Alcotest.(check int) "counted" 1 (Env.Recorder.finish r).Env.invalid
+
+let searcher_finds_good name search =
+  Alcotest.test_case (name ^ " reaches a good fig5 solution") `Quick (fun () ->
+      let result = search (fig5_env 11) in
+      match result.Env.best_latency with
+      | None -> Alcotest.failf "%s found nothing" name
+      | Some l ->
+          let obj = 1000.0 /. l in
+          Alcotest.(check bool) (name ^ " close to optimum") true (obj >= 2.8))
+
+let test_trace_monotone () =
+  let result = Baselines.random_search (fig5_env 12) ~budget:40 in
+  let rec check prev = function
+    | [] -> ()
+    | (p : Env.point) :: rest ->
+        (match (prev, p.Env.best) with
+        | Some a, Some b -> Alcotest.(check bool) "best non-increasing" true (b <= a)
+        | _ -> ());
+        check p.Env.best rest
+  in
+  check None result.Env.trace
+
+let test_ga_sat_decoder_all_valid () =
+  let env = fig5_env 13 in
+  let result = Baselines.ga_sat_decoder env ~budget:60 in
+  Alcotest.(check int) "decoder yields only valid programs" 0 result.Env.invalid
+
+let test_ga_variants_run () =
+  List.iter
+    (fun (name, search) ->
+      let result = search (fig5_env 14) ~budget:40 in
+      Alcotest.(check bool) (name ^ " measured something") true
+        (List.length result.Env.trace > 0))
+    [
+      ("GA-1", Baselines.ga_stochastic_ranking ?params:None ?pf:None);
+      ("GA-3", Baselines.ga_multi_objective ?params:None);
+      ("SA", fun env ~budget -> Baselines.simulated_annealing env ~budget);
+    ]
+
+let test_ga_terminates_on_tiny_space () =
+  (* Regression: once the whole (tiny) space is measured, converged GA
+     populations only produce cached replays; the recorder's secondary
+     evaluation cap must still terminate the loop. *)
+  let result = Baselines.genetic (fig5_env 31) ~budget:200 in
+  Alcotest.(check bool) "terminated with a best" true (result.Env.best_latency <> None);
+  Alcotest.(check bool) "within budget" true (List.length result.Env.trace <= 200)
+
+let test_sa_terminates_on_tiny_space () =
+  let result = Baselines.simulated_annealing (fig5_env 32) ~budget:200 in
+  Alcotest.(check bool) "terminated" true (List.length result.Env.trace <= 200)
+
+let test_cga_deterministic_given_seed () =
+  let run () =
+    let o = Cga.run (fig5_env 21) ~budget:40 in
+    o.Cga.result.Env.best_latency
+  in
+  Alcotest.(check bool) "same result" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "fig5 optimum" `Quick test_fig5_optimum_known;
+    Alcotest.test_case "CGA finds fig5 optimum" `Quick test_cga_finds_fig5_optimum;
+    Alcotest.test_case "offspring always valid" `Quick test_crossover_offspring_valid;
+    Alcotest.test_case "crossover inherits key genes" `Quick test_crossover_inherits_keys;
+    Alcotest.test_case "mutation drops one constraint" `Quick test_crossover_mutation_drops_one;
+    Alcotest.test_case "recorder budget/cache" `Quick test_recorder_budget_and_cache;
+    Alcotest.test_case "recorder best tracking" `Quick test_recorder_tracks_best;
+    Alcotest.test_case "recorder invalid count" `Quick test_recorder_counts_invalid;
+    searcher_finds_good "RAND" (fun env -> Baselines.random_search env ~budget:50);
+    searcher_finds_good "CGA" (fun env -> (Cga.run env ~budget:50).Cga.result);
+    Alcotest.test_case "trace best monotone" `Quick test_trace_monotone;
+    Alcotest.test_case "SAT-decoder always valid" `Quick test_ga_sat_decoder_all_valid;
+    Alcotest.test_case "GA variants run" `Quick test_ga_variants_run;
+    Alcotest.test_case "GA terminates on tiny space" `Quick test_ga_terminates_on_tiny_space;
+    Alcotest.test_case "SA terminates on tiny space" `Quick test_sa_terminates_on_tiny_space;
+    Alcotest.test_case "CGA deterministic" `Quick test_cga_deterministic_given_seed;
+  ]

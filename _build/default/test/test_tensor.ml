@@ -1,0 +1,312 @@
+(* Tests for the tensor-expression IR: the generic reference interpreter is
+   cross-checked against hand-written kernels and closed-form cases for
+   every operator constructor, and the implicit-GEMM analysis is checked
+   against known classifications. *)
+
+module Op = Heron_tensor.Op
+module Expr = Heron_tensor.Expr
+module Ref_exec = Heron_tensor.Ref_exec
+module Linalg = Heron_tensor.Linalg
+module Gemm_view = Heron_tensor.Gemm_view
+module Rng = Heron_util.Rng
+
+let random_array rng n = Array.init n (fun _ -> Rng.float rng -. 0.5)
+
+let check_close ~msg a b =
+  Alcotest.(check int) (msg ^ " size") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if abs_float (x -. b.(i)) > 1e-6 *. (1.0 +. abs_float x) then
+        Alcotest.failf "%s: index %d: %f <> %f" msg i x b.(i))
+    a
+
+let test_expr_eval () =
+  let open Expr in
+  let e = (var "x" * const 3) + (var "y" - const 1) in
+  let env = function "x" -> 4 | "y" -> 10 | _ -> 0 in
+  Alcotest.(check int) "eval" 21 (eval env e);
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (vars e)
+
+let test_expr_div () =
+  let open Expr in
+  let e = var "x" / const 2 in
+  Alcotest.(check int) "7/2" 3 (eval (fun _ -> 7) e)
+
+let test_gemm_matches_direct () =
+  let rng = Rng.create 1 in
+  let m, n, k = (5, 7, 4) in
+  let op = Op.gemm ~m ~n ~k () in
+  let a = random_array rng (m * k) and b = random_array rng (k * n) in
+  let got = Ref_exec.run op [ ("A", a); ("B", b) ] in
+  check_close ~msg:"gemm" (Linalg.gemm ~m ~n ~k a b) got
+
+let test_gemm_prop =
+  QCheck.Test.make ~name:"gemm interpreter == direct kernel" ~count:25
+    QCheck.(triple (int_range 1 8) (int_range 1 8) (int_range 1 8))
+    (fun (m, n, k) ->
+      let rng = Rng.create (m + (10 * n) + (100 * k)) in
+      let op = Op.gemm ~m ~n ~k () in
+      let a = random_array rng (m * k) and b = random_array rng (k * n) in
+      let got = Ref_exec.run op [ ("A", a); ("B", b) ] in
+      let want = Linalg.gemm ~m ~n ~k a b in
+      Array.for_all2 (fun x y -> abs_float (x -. y) < 1e-6) want got)
+
+let test_bmm () =
+  let rng = Rng.create 2 in
+  let b, m, n, k = (3, 4, 5, 6) in
+  let op = Op.bmm ~b ~m ~n ~k () in
+  let x = random_array rng (b * m * k) and y = random_array rng (b * k * n) in
+  let got = Ref_exec.run op [ ("A", x); ("B", y) ] in
+  (* Batch slices must equal per-slice gemms. *)
+  for bi = 0 to b - 1 do
+    let xa = Array.sub x (bi * m * k) (m * k) and yb = Array.sub y (bi * k * n) (k * n) in
+    let want = Linalg.gemm ~m ~n ~k xa yb in
+    let slice = Array.sub got (bi * m * n) (m * n) in
+    check_close ~msg:(Printf.sprintf "bmm batch %d" bi) want slice
+  done
+
+let test_gemv () =
+  let rng = Rng.create 3 in
+  let m, k = (6, 5) in
+  let op = Op.gemv ~m ~k () in
+  let a = random_array rng (m * k) and x = random_array rng k in
+  let got = Ref_exec.run op [ ("A", a); ("X", x) ] in
+  let want =
+    Array.init m (fun i ->
+        let acc = ref 0.0 in
+        for r = 0 to k - 1 do
+          acc := !acc +. (a.((i * k) + r) *. x.(r))
+        done;
+        !acc)
+  in
+  check_close ~msg:"gemv" want got
+
+let test_conv2d_matches_direct () =
+  let rng = Rng.create 4 in
+  let n, ci, h, w, co, kh, kw, stride, pad = (2, 3, 8, 8, 4, 3, 3, 1, 1) in
+  let op = Op.conv2d ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad () in
+  let x = random_array rng (n * ci * h * w) and wt = random_array rng (co * ci * kh * kw) in
+  let got = Ref_exec.run op [ ("X", x); ("W", wt) ] in
+  check_close ~msg:"c2d" (Linalg.conv2d ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad x wt) got
+
+let test_conv2d_strided () =
+  let rng = Rng.create 5 in
+  let n, ci, h, w, co, kh, kw, stride, pad = (1, 2, 9, 9, 2, 3, 3, 2, 0) in
+  let op = Op.conv2d ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad () in
+  let x = random_array rng (n * ci * h * w) and wt = random_array rng (co * ci * kh * kw) in
+  let got = Ref_exec.run op [ ("X", x); ("W", wt) ] in
+  check_close ~msg:"c2d strided" (Linalg.conv2d ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad x wt) got
+
+let test_conv1d_closed_form () =
+  (* All-ones input and kernel: interior outputs equal ci*kl. *)
+  let n, ci, l, co, kl = (1, 2, 8, 3, 3) in
+  let op = Op.conv1d ~n ~ci ~l ~co ~kl ~stride:1 ~pad:1 () in
+  let x = Array.make (n * ci * l) 1.0 and w = Array.make (co * ci * kl) 1.0 in
+  let got = Ref_exec.run op [ ("X", x); ("W", w) ] in
+  Alcotest.(check (float 1e-9)) "interior" (float_of_int (ci * kl)) got.(1);
+  (* Boundary misses one kernel tap per channel. *)
+  Alcotest.(check (float 1e-9)) "boundary" (float_of_int (ci * (kl - 1))) got.(0)
+
+let test_conv3d_total () =
+  (* Sum of all outputs of a valid (pad 0, stride 1) all-ones conv equals
+     #output-points * ci*kd*kh*kw. *)
+  let n, ci, d, h, w, co, k = (1, 2, 4, 4, 4, 2, 2) in
+  let op = Op.conv3d ~n ~ci ~d ~h ~w ~co ~kd:k ~kh:k ~kw:k ~stride:1 ~pad:0 () in
+  let x = Array.make (n * ci * d * h * w) 1.0 in
+  let wt = Array.make (co * ci * k * k * k) 1.0 in
+  let got = Ref_exec.run op [ ("X", x); ("W", wt) ] in
+  let expect = float_of_int (ci * k * k * k) in
+  Array.iter (fun v -> Alcotest.(check (float 1e-9)) "conv3d point" expect v) got
+
+(* Direct transposed-convolution reference built by scattering input
+   contributions, the textbook definition. *)
+let t2d_direct ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad x wt =
+  let oh = ((h - 1) * stride) - (2 * pad) + kh in
+  let ow = ((w - 1) * stride) - (2 * pad) + kw in
+  let out = Array.make (n * co * oh * ow) 0.0 in
+  for bn = 0 to n - 1 do
+    for ic = 0 to ci - 1 do
+      for iy = 0 to h - 1 do
+        for ix = 0 to w - 1 do
+          for oc = 0 to co - 1 do
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let oy = (iy * stride) + ky - pad and ox = (ix * stride) + kx - pad in
+                if oy >= 0 && oy < oh && ox >= 0 && ox < ow then
+                  out.((((((bn * co) + oc) * oh) + oy) * ow) + ox) <-
+                    out.((((((bn * co) + oc) * oh) + oy) * ow) + ox)
+                    +. x.((((((bn * ci) + ic) * h) + iy) * w) + ix)
+                       *. wt.((((((ic * co) + oc) * kh) + ky) * kw) + kx)
+              done
+            done
+          done
+        done
+      done
+    done
+  done;
+  out
+
+let test_transposed2d () =
+  let rng = Rng.create 6 in
+  let n, ci, h, w, co, kh, kw, stride, pad = (1, 2, 5, 5, 3, 4, 4, 2, 1) in
+  let op = Op.transposed2d ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad () in
+  let x = random_array rng (n * ci * h * w) and wt = random_array rng (ci * co * kh * kw) in
+  let got = Ref_exec.run op [ ("X", x); ("W", wt) ] in
+  check_close ~msg:"t2d" (t2d_direct ~n ~ci ~h ~w ~co ~kh ~kw ~stride ~pad x wt) got
+
+(* Dilated convolution checked against an explicitly dilated kernel fed to
+   the plain convolution. *)
+let test_dilated2d () =
+  let rng = Rng.create 7 in
+  let n, ci, h, w, co, k, dilation = (1, 2, 9, 9, 2, 3, 2) in
+  let pad = 2 in
+  let op = Op.dilated2d ~n ~ci ~h ~w ~co ~kh:k ~kw:k ~stride:1 ~pad ~dilation () in
+  let x = random_array rng (n * ci * h * w) in
+  let wt = random_array rng (co * ci * k * k) in
+  let got = Ref_exec.run op [ ("X", x); ("W", wt) ] in
+  (* Dilate the kernel to (2k-1)x(2k-1) with zeros. *)
+  let kd = ((k - 1) * dilation) + 1 in
+  let wt_dilated = Array.make (co * ci * kd * kd) 0.0 in
+  for oc = 0 to co - 1 do
+    for ic = 0 to ci - 1 do
+      for ky = 0 to k - 1 do
+        for kx = 0 to k - 1 do
+          wt_dilated.((((((oc * ci) + ic) * kd) + (ky * dilation)) * kd) + (kx * dilation)) <-
+            wt.((((((oc * ci) + ic) * k) + ky) * k) + kx)
+        done
+      done
+    done
+  done;
+  let want = Linalg.conv2d ~n ~ci ~h ~w ~co ~kh:kd ~kw:kd ~stride:1 ~pad x wt_dilated in
+  check_close ~msg:"dilated" want got
+
+let test_scan () =
+  let rng = Rng.create 8 in
+  let b, l = (3, 10) in
+  let op = Op.scan ~b ~l () in
+  let x = random_array rng (b * l) in
+  let got = Ref_exec.run op [ ("X", x) ] in
+  check_close ~msg:"scan" (Linalg.prefix_sum ~b ~l x) got
+
+let test_conv_out_dim () =
+  Alcotest.(check int) "same" 56
+    (Op.conv_out_dim ~in_dim:56 ~kernel:3 ~stride:1 ~pad:1 ~dilation:1);
+  Alcotest.(check int) "strided" 28
+    (Op.conv_out_dim ~in_dim:56 ~kernel:1 ~stride:2 ~pad:0 ~dilation:1);
+  Alcotest.(check int) "dilated" 52
+    (Op.conv_out_dim ~in_dim:56 ~kernel:3 ~stride:1 ~pad:0 ~dilation:2)
+
+let test_gemm_view_gemm () =
+  let op = Op.gemm ~m:64 ~n:32 ~k:16 () in
+  match Gemm_view.infer op with
+  | None -> Alcotest.fail "gemm must have a view"
+  | Some v ->
+      Alcotest.(check int) "m" 64 v.Gemm_view.m;
+      Alcotest.(check int) "n" 32 v.Gemm_view.n;
+      Alcotest.(check int) "k" 16 v.Gemm_view.k;
+      Alcotest.(check int) "batch" 1 v.Gemm_view.batch
+
+let test_gemm_view_conv () =
+  let op = Op.conv2d ~n:4 ~ci:16 ~h:14 ~w:14 ~co:32 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+  match Gemm_view.infer op with
+  | None -> Alcotest.fail "conv must have a view"
+  | Some v ->
+      Alcotest.(check int) "m = N*OH*OW" (4 * 14 * 14) v.Gemm_view.m;
+      Alcotest.(check int) "n = CO" 32 v.Gemm_view.n;
+      Alcotest.(check int) "k = CI*KH*KW" (16 * 3 * 3) v.Gemm_view.k;
+      Alcotest.(check (list string)) "m iters" [ "n"; "oh"; "ow" ] v.Gemm_view.m_iters;
+      Alcotest.(check (list string)) "n iters" [ "co" ] v.Gemm_view.n_iters
+
+let test_gemm_view_bmm_batch () =
+  let op = Op.bmm ~b:12 ~m:64 ~n:64 ~k:32 () in
+  match Gemm_view.infer op with
+  | None -> Alcotest.fail "bmm must have a view"
+  | Some v ->
+      Alcotest.(check int) "batch" 12 v.Gemm_view.batch;
+      Alcotest.(check (list string)) "batch iters" [ "b" ] v.Gemm_view.batch_iters
+
+let test_gemm_view_gemv () =
+  let op = Op.gemv ~m:128 ~k:64 () in
+  match Gemm_view.infer op with
+  | None -> Alcotest.fail "gemv must have a view"
+  | Some v ->
+      Alcotest.(check int) "n degenerate" 1 v.Gemm_view.n;
+      Alcotest.(check (list string)) "no n iters" [] v.Gemm_view.n_iters
+
+let test_gemm_view_scan_none () =
+  Alcotest.(check bool) "scan has no view" true
+    (Gemm_view.infer (Op.scan ~b:4 ~l:16 ()) = None)
+
+let test_derived_op () =
+  let op = Op.conv2d ~n:4 ~ci:16 ~h:14 ~w:14 ~co:32 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+  match Gemm_view.infer op with
+  | None -> Alcotest.fail "view"
+  | Some v ->
+      let d = Gemm_view.derived_op op v in
+      Alcotest.(check (float 1.0)) "flops preserved" op.Op.flops d.Op.flops;
+      Alcotest.(check int) "derived m" (4 * 14 * 14) (Op.find_iter d "i").Op.extent
+
+let test_fused_relu () =
+  (* Always-Inline rule: the fused epilogue equals applying relu to the
+     unfused result. *)
+  let rng = Rng.create 9 in
+  let m, n, k = (4, 5, 6) in
+  let base = Op.gemm ~m ~n ~k () in
+  let fused = Op.fuse_post base Op.Relu in
+  let a = random_array rng (m * k) and b = random_array rng (k * n) in
+  let plain = Ref_exec.run base [ ("A", a); ("B", b) ] in
+  let got = Ref_exec.run fused [ ("A", a); ("B", b) ] in
+  Array.iteri
+    (fun i v ->
+      let want = if v > 0.0 then v else 0.0 in
+      Alcotest.(check (float 1e-9)) "relu applied" want got.(i))
+    plain;
+  Alcotest.(check bool) "flops grew" true (fused.Op.flops > base.Op.flops);
+  Alcotest.(check string) "name" "gemm+relu" fused.Op.cname
+
+let test_post_ops () =
+  Alcotest.(check (float 1e-9)) "relu-" 0.0 (Op.apply_post Op.Relu (-3.0));
+  Alcotest.(check (float 1e-9)) "relu+" 2.0 (Op.apply_post Op.Relu 2.0);
+  Alcotest.(check (float 1e-9)) "scale" 6.0 (Op.apply_post (Op.Scale 2.0) 3.0);
+  Alcotest.(check (float 1e-6)) "sigmoid(0)" 0.5 (Op.apply_post Op.Sigmoid 0.0)
+
+let test_tensor_sizes () =
+  let t = { Op.tname = "T"; shape = [ 2; 3; 4 ]; dt = Op.F16 } in
+  Alcotest.(check int) "numel" 24 (Op.numel t);
+  Alcotest.(check int) "bytes" 48 (Op.tensor_bytes t)
+
+let test_dtype_bytes () =
+  Alcotest.(check int) "f16" 2 (Op.dtype_bytes Op.F16);
+  Alcotest.(check int) "f32" 4 (Op.dtype_bytes Op.F32);
+  Alcotest.(check int) "i8" 1 (Op.dtype_bytes Op.I8);
+  Alcotest.(check int) "i32" 4 (Op.dtype_bytes Op.I32)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "expr eval" `Quick test_expr_eval;
+    Alcotest.test_case "expr division" `Quick test_expr_div;
+    Alcotest.test_case "gemm vs direct" `Quick test_gemm_matches_direct;
+    qtest test_gemm_prop;
+    Alcotest.test_case "bmm slices" `Quick test_bmm;
+    Alcotest.test_case "gemv" `Quick test_gemv;
+    Alcotest.test_case "conv2d vs direct" `Quick test_conv2d_matches_direct;
+    Alcotest.test_case "conv2d strided" `Quick test_conv2d_strided;
+    Alcotest.test_case "conv1d closed form" `Quick test_conv1d_closed_form;
+    Alcotest.test_case "conv3d all-ones" `Quick test_conv3d_total;
+    Alcotest.test_case "transposed conv vs scatter" `Quick test_transposed2d;
+    Alcotest.test_case "dilated conv vs dilated kernel" `Quick test_dilated2d;
+    Alcotest.test_case "scan vs prefix sum" `Quick test_scan;
+    Alcotest.test_case "conv_out_dim" `Quick test_conv_out_dim;
+    Alcotest.test_case "gemm view: gemm" `Quick test_gemm_view_gemm;
+    Alcotest.test_case "gemm view: conv im2col" `Quick test_gemm_view_conv;
+    Alcotest.test_case "gemm view: bmm batch" `Quick test_gemm_view_bmm_batch;
+    Alcotest.test_case "gemm view: gemv degenerate n" `Quick test_gemm_view_gemv;
+    Alcotest.test_case "gemm view: scan none" `Quick test_gemm_view_scan_none;
+    Alcotest.test_case "derived op" `Quick test_derived_op;
+    Alcotest.test_case "fused relu epilogue" `Quick test_fused_relu;
+    Alcotest.test_case "post-op semantics" `Quick test_post_ops;
+    Alcotest.test_case "tensor sizes" `Quick test_tensor_sizes;
+    Alcotest.test_case "dtype bytes" `Quick test_dtype_bytes;
+  ]

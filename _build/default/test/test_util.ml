@@ -1,0 +1,133 @@
+(* Unit and property tests for heron_util. *)
+
+module Rng = Heron_util.Rng
+module Ints = Heron_util.Ints
+module Hashing = Heron_util.Hashing
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 500 do
+    let v = Rng.range rng 3 9 in
+    Alcotest.(check bool) "in [3,9]" true (v >= 3 && v <= 9)
+  done
+
+let test_rng_float () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list xs in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let test_sample_distinct () =
+  let rng = Rng.create 3 in
+  let xs = List.init 20 (fun i -> i) in
+  let s = Rng.sample rng xs 8 in
+  Alcotest.(check int) "size" 8 (List.length s);
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare s))
+
+let test_divisors () =
+  Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ] (Ints.divisors 12);
+  Alcotest.(check (list int)) "divisors 1" [ 1 ] (Ints.divisors 1);
+  Alcotest.(check (list int)) "divisors 7" [ 1; 7 ] (Ints.divisors 7)
+
+let test_divisors_prop =
+  QCheck.Test.make ~name:"divisors divide and are complete" ~count:200
+    QCheck.(int_range 1 2000)
+    (fun n ->
+      let ds = Ints.divisors n in
+      List.for_all (fun d -> n mod d = 0) ds
+      && List.length ds
+         = List.length (List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))))
+
+let test_pow2s () =
+  Alcotest.(check (list int)) "pow2 upto 20" [ 1; 2; 4; 8; 16 ] (Ints.pow2s_upto 20)
+
+let test_ceil_div =
+  QCheck.Test.make ~name:"ceil_div rounds up" ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 1 100))
+    (fun (a, b) ->
+      let q = Ints.ceil_div a b in
+      (q * b >= a) && ((q - 1) * b < a || q = 0))
+
+let test_round_up () =
+  Alcotest.(check int) "round_up 13 8" 16 (Ints.round_up 13 8);
+  Alcotest.(check int) "round_up 16 8" 16 (Ints.round_up 16 8)
+
+let test_is_pow2 () =
+  Alcotest.(check bool) "16" true (Ints.is_pow2 16);
+  Alcotest.(check bool) "12" false (Ints.is_pow2 12);
+  Alcotest.(check bool) "0" false (Ints.is_pow2 0)
+
+let test_log2_floor () =
+  Alcotest.(check int) "log2 1" 0 (Ints.log2_floor 1);
+  Alcotest.(check int) "log2 8" 3 (Ints.log2_floor 8);
+  Alcotest.(check int) "log2 9" 3 (Ints.log2_floor 9)
+
+let test_hash_stable () =
+  Alcotest.(check int64) "fnv stable" (Hashing.fnv1a "heron") (Hashing.fnv1a "heron");
+  Alcotest.(check bool) "different inputs differ" true
+    (Hashing.fnv1a "a" <> Hashing.fnv1a "b")
+
+let test_hash_ranges () =
+  List.iter
+    (fun s ->
+      let u = Hashing.unit_float s and sv = Hashing.signed_unit s in
+      Alcotest.(check bool) "unit in [0,1)" true (u >= 0.0 && u < 1.0);
+      Alcotest.(check bool) "signed in [-1,1)" true (sv >= -1.0 && sv < 1.0))
+    [ ""; "x"; "heron"; "a-much-longer-key-with-digits-123456" ]
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng range bounds" `Quick test_rng_range;
+    Alcotest.test_case "rng float range" `Quick test_rng_float;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    qtest test_shuffle_permutation;
+    Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "divisors examples" `Quick test_divisors;
+    qtest test_divisors_prop;
+    Alcotest.test_case "pow2s" `Quick test_pow2s;
+    qtest test_ceil_div;
+    Alcotest.test_case "round_up" `Quick test_round_up;
+    Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+    Alcotest.test_case "log2_floor" `Quick test_log2_floor;
+    Alcotest.test_case "hash stability" `Quick test_hash_stable;
+    Alcotest.test_case "hash ranges" `Quick test_hash_ranges;
+  ]
