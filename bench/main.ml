@@ -174,6 +174,77 @@ let run_experiments () =
   print_newline ();
   print_string (E.Exp_ablation.propagation ~seed ())
 
+(* --quick: wall-clock comparison of the domain-pool hot paths at jobs=1
+   vs jobs=4 — a 16-candidate eval_batch (measurement amplified with
+   ~reps so each candidate carries realistic per-item cost) and a GBT
+   refit over 512 recorded samples. Emits BENCH_parallel.json. On a
+   single-core container the speedup is ~1x by construction; the JSON
+   records the host's domain count so readers can interpret the ratio. *)
+let run_quick () =
+  let module Pool = Heron_util.Pool in
+  let module Recorder = Heron_search.Env.Recorder in
+  let problem = gen_v100.Heron.Generator.problem in
+  let batch = Solver.rand_sat (Rng.create 7) problem 16 in
+  let samples =
+    List.mapi (fun i a -> (a, 1.0 +. float_of_int (i mod 23)))
+      (Solver.rand_sat (Rng.create 8) problem 512)
+  in
+  let eval_batch_once pool =
+    let env = Heron.Pipeline.make_env ~reps:400 ~seed:11 D.v100 gen_v100 in
+    let r = Recorder.create env ~budget:64 in
+    ignore (Recorder.eval_batch ?pool r batch)
+  in
+  let refit_once pool =
+    let model = Heron_cost.Model.create problem in
+    List.iter (fun (a, y) -> Heron_cost.Model.record model a y) samples;
+    Heron_cost.Model.refit ?pool model
+  in
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let phases pool =
+    ( best_of 3 (fun () -> eval_batch_once pool),
+      best_of 3 (fun () -> refit_once pool) )
+  in
+  let eval1, refit1 = phases None in
+  let eval4, refit4 = Pool.with_pool ~domains:4 (fun p -> phases (Some p)) in
+  let speedup a b = if b > 0.0 then a /. b else 0.0 in
+  let combined = speedup (eval1 +. refit1) (eval4 +. refit4) in
+  let json =
+    Printf.sprintf
+      {|{
+  "domains_available": %d,
+  "batch_size": 16,
+  "refit_samples": 512,
+  "eval_batch_s": { "jobs1": %.6f, "jobs4": %.6f },
+  "gbt_refit_s": { "jobs1": %.6f, "jobs4": %.6f },
+  "speedup": {
+    "eval_batch": %.3f,
+    "gbt_refit": %.3f,
+    "combined": %.3f
+  }
+}
+|}
+      (Domain.recommended_domain_count ())
+      eval1 eval4 refit1 refit4 (speedup eval1 eval4) (speedup refit1 refit4)
+      combined
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "wrote BENCH_parallel.json (host reports %d domains)\n"
+    (Domain.recommended_domain_count ())
+
 let () =
-  run_benchmarks ();
-  run_experiments ()
+  if Array.exists (String.equal "--quick") Sys.argv then run_quick ()
+  else begin
+    run_benchmarks ();
+    run_experiments ()
+  end

@@ -13,6 +13,31 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Rand
 let samples_arg =
   Arg.(value & opt int 300 & info [ "samples" ] ~docv:"N" ~doc:"Space samples (fig11).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (max 1 (Domain.recommended_domain_count () - 1))
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domain-pool parallelism for every tuning run (default: \
+           recommended domain count - 1). Results are identical for any \
+           value.")
+
+(* Install a process-default pool so every Cga.run/Pipeline.tune under [f]
+   fans out, then tear it down. *)
+let with_jobs jobs f =
+  let jobs = max 1 jobs in
+  if jobs = 1 then f ()
+  else begin
+    let pool = Heron_util.Pool.create ~domains:jobs in
+    Heron_util.Pool.set_default (Some pool);
+    Fun.protect
+      ~finally:(fun () ->
+        Heron_util.Pool.set_default None;
+        Heron_util.Pool.shutdown pool)
+      f
+  end
+
 let print s = print_string s
 
 let no_arg_cmd name doc f =
@@ -20,7 +45,9 @@ let no_arg_cmd name doc f =
 
 let budgeted_cmd name doc default f =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun budget seed -> print (f ~budget ~seed ())) $ budget_arg default $ seed_arg)
+    Term.(
+      const (fun budget seed jobs -> with_jobs jobs (fun () -> print (f ~budget ~seed ())))
+      $ budget_arg default $ seed_arg $ jobs_arg)
 
 let fig11_cmd =
   Cmd.v (Cmd.info "fig11" ~doc:"Search-space quality heat maps (Heron vs AutoTVM).")
@@ -29,7 +56,7 @@ let fig11_cmd =
       $ samples_arg $ seed_arg)
 
 let all_cmd =
-  let run budget seed =
+  let run budget seed jobs = with_jobs jobs @@ fun () ->
     print (E.Exp_space.table4 ());
     print "\n";
     print (E.Exp_space.table5 ());
@@ -59,7 +86,7 @@ let all_cmd =
     print (E.Exp_time.fig14 ~budget:(min budget 120) ~seed ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (long).")
-    Term.(const run $ budget_arg 80 $ seed_arg)
+    Term.(const run $ budget_arg 80 $ seed_arg $ jobs_arg)
 
 let cmds =
   [

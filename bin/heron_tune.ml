@@ -4,6 +4,24 @@
 open Cmdliner
 module Op = Heron_tensor.Op
 module D = Heron_dla.Descriptor
+module Pool = Heron_util.Pool
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Run [f] with a domain pool of [jobs] workers installed as the process
+   default; every parallel phase of the pipeline picks it up. *)
+let with_jobs jobs f =
+  let jobs = max 1 jobs in
+  if jobs = 1 then f None
+  else begin
+    let pool = Pool.create ~domains:jobs in
+    Pool.set_default (Some pool);
+    Fun.protect
+      ~finally:(fun () ->
+        Pool.set_default None;
+        Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
 
 let desc_of_string = function
   | "v100" -> Ok D.v100
@@ -31,18 +49,25 @@ let op_of ~kind ~dims ~dt =
         "usage: gemm M N K | bmm B M N K | gemv M K | c1d N CI L CO KL S P | \
          c2d N CI H W CO KH KW S P | scan B L"
 
-let run dla kind dims dt trials seed =
+let run dla kind dims dt trials seed jobs =
   match desc_of_string dla with
   | Error e -> prerr_endline e; 2
   | Ok desc -> (
       match op_of ~kind ~dims ~dt with
       | Error e -> prerr_endline e; 2
       | Ok op ->
-          Printf.printf "tuning %s on %s (%d trials, seed %d)\n%!" (Op.to_string op)
-            desc.D.dname trials seed;
-          let tuned = Heron.Pipeline.tune ~budget:trials ~seed desc op in
+          Printf.printf "tuning %s on %s (%d trials, seed %d, %d jobs)\n%!"
+            (Op.to_string op) desc.D.dname trials seed (max 1 jobs);
+          let tuned =
+            with_jobs jobs (fun pool -> Heron.Pipeline.tune ~budget:trials ~seed ?pool desc op)
+          in
           Printf.printf "space: %s\n"
             (Heron.Stats.to_string (Heron.Stats.of_problem tuned.gen.problem));
+          let o = tuned.Heron.Pipeline.outcome in
+          Printf.printf
+            "phases (%d jobs): search %.2fs, model %.2fs, measure %.2fs\n"
+            o.Heron_search.Cga.jobs o.Heron_search.Cga.time_search_s
+            o.Heron_search.Cga.time_model_s o.Heron_search.Cga.time_measure_s;
           (match Heron.Pipeline.best_latency_us tuned with
           | None -> print_endline "no valid program found"
           | Some l ->
@@ -65,6 +90,16 @@ let () =
   let dt = Arg.(value & opt string "f16" & info [ "dtype" ] ~docv:"DT") in
   let trials = Arg.(value & opt int 200 & info [ "trials"; "t" ] ~docv:"N") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
-  let term = Term.(const run $ dla $ kind $ dims $ dt $ trials $ seed) in
+  let jobs =
+    Arg.(
+      value
+      & opt int (default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domain-pool parallelism for measurement batches, CSP solving \
+             and cost-model training (default: recommended domain count - \
+             1). Results are identical for any value.")
+  in
+  let term = Term.(const run $ dla $ kind $ dims $ dt $ trials $ seed $ jobs) in
   let info = Cmd.info "heron_tune" ~doc:"Tune one operator with Heron on a simulated DLA." in
   exit (Cmd.eval' (Cmd.v info term))

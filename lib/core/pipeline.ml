@@ -23,17 +23,17 @@ let make_measure ?reps desc (gen : Generator.t) =
     | exception Invalid_argument _ -> None
     | prog -> ( match Measure.run measurer prog with Ok l -> Some l | Error _ -> None)
   in
-  (measure, fun () -> measurer.Measure.count)
+  (measure, fun () -> Measure.count measurer)
 
 let make_env ?reps ?(seed = 42) desc gen =
   let measure, _count = make_measure ?reps desc gen in
   { Env.problem = gen.Generator.problem; measure; rng = Rng.create seed }
 
-let tune ?(budget = 200) ?(seed = 42) ?reps ?params desc op =
+let tune ?(budget = 200) ?(seed = 42) ?reps ?params ?pool desc op =
   let gen = Generator.generate ~seed desc op in
   let measure, count = make_measure ?reps desc gen in
   let env = { Env.problem = gen.Generator.problem; measure; rng = Rng.create seed } in
-  let outcome = Cga.run ?params env ~budget in
+  let outcome = Cga.run ?params ?pool env ~budget in
   { gen; outcome; desc; op; measurements = count () }
 
 let best_latency_us t = t.outcome.Cga.result.Env.best_latency

@@ -29,11 +29,15 @@ val tune :
   ?seed:int ->
   ?reps:int ->
   ?params:Cga.params ->
+  ?pool:Heron_util.Pool.t ->
   Descriptor.t ->
   Op.t ->
   tuned
 (** Generate the constrained space for [op] on the DLA and explore it with
-    CGA under the given measurement budget (default 200). *)
+    CGA under the given measurement budget (default 200). [?pool] (or the
+    process default pool) parallelizes measurement batches, CSP solving
+    and cost-model training without changing the result for a fixed
+    seed. *)
 
 val best_latency_us : tuned -> float option
 val best_tflops : tuned -> float option

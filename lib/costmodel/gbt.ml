@@ -9,7 +9,7 @@ type t = {
   n_features : int;
 }
 
-let fit ?(params = default_params) ~n_bins xs ys =
+let fit ?(params = default_params) ?pool ~n_bins xs ys =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Gbt.fit: empty data";
   let base = Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
@@ -18,17 +18,22 @@ let fit ?(params = default_params) ~n_bins xs ys =
   for _round = 1 to params.n_trees do
     (* Squared loss: the negative gradient is the residual. *)
     let residuals = Array.init n (fun i -> ys.(i) -. preds.(i)) in
-    let tree = Tree.fit ~params:params.tree ~n_bins xs residuals in
+    let tree = Tree.fit ~params:params.tree ?pool ~n_bins xs residuals in
     trees := tree :: !trees;
+    (* Per-sample tree outputs are independent; computing them on the pool
+       and applying sequentially keeps float order identical. *)
+    let contrib = Heron_util.Pool.init ?pool n (fun i -> Tree.predict tree xs.(i)) in
     Array.iteri
-      (fun i x -> preds.(i) <- preds.(i) +. (params.learning_rate *. Tree.predict tree x))
-      xs
+      (fun i c -> preds.(i) <- preds.(i) +. (params.learning_rate *. c))
+      contrib
   done;
   { base; trees = List.rev !trees; rate = params.learning_rate;
     n_features = Array.length xs.(0) }
 
 let predict t x =
   List.fold_left (fun acc tree -> acc +. (t.rate *. Tree.predict tree x)) t.base t.trees
+
+let predict_batch ?pool t xs = Heron_util.Pool.map ?pool (predict t) xs
 
 let feature_gains t =
   let acc = Array.make t.n_features 0.0 in

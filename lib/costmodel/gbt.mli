@@ -11,9 +11,22 @@ val default_params : params
 
 type t
 
-val fit : ?params:params -> n_bins:int array -> int array array -> float array -> t
+val fit :
+  ?params:params ->
+  ?pool:Heron_util.Pool.t ->
+  n_bins:int array ->
+  int array array ->
+  float array ->
+  t
+(** With [?pool], each boosting round parallelizes the per-feature split
+    scan and the residual update; the ensemble is identical for any pool
+    size. *)
 
 val predict : t -> int array -> float
+
+val predict_batch : ?pool:Heron_util.Pool.t -> t -> int array array -> float array
+(** Batch prediction, optionally fanned out across a domain pool; output
+    order matches input order. *)
 
 val feature_gains : t -> float array
 (** Per-feature total gain across the ensemble (XGBoost-style

@@ -28,12 +28,12 @@ let record t a score =
     t.count <- t.window
   end
 
-let refit t =
+let refit ?pool t =
   if t.count >= 8 then begin
     let xs = Array.of_list (List.map fst t.data) in
     let ys = Array.of_list (List.map snd t.data) in
     t.ensemble <-
-      Some (Gbt.fit ~params:t.gbt_params ~n_bins:(Features.n_bins t.features) xs ys)
+      Some (Gbt.fit ~params:t.gbt_params ?pool ~n_bins:(Features.n_bins t.features) xs ys)
   end
 
 let trained t = t.ensemble <> None
@@ -42,6 +42,16 @@ let predict t a =
   match t.ensemble with
   | None -> 0.0
   | Some g -> Gbt.predict g (Features.binned t.features a)
+
+let predict_batch ?pool t assignments =
+  match t.ensemble with
+  | None -> List.map (fun _ -> 0.0) assignments
+  | Some g ->
+      (* Binning and ensemble evaluation are pure per-assignment reads, so
+         the whole scoring pass fans out; order is preserved. *)
+      Heron_util.Pool.map_list ?pool
+        (fun a -> Gbt.predict g (Features.binned t.features a))
+        assignments
 
 let importance t =
   match t.ensemble with

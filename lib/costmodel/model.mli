@@ -13,14 +13,20 @@ val create : ?gbt_params:Gbt.params -> ?window:int -> Problem.t -> t
 val record : t -> Assignment.t -> float -> unit
 (** Stores one (assignment, fitness score) observation. *)
 
-val refit : t -> unit
+val refit : ?pool:Heron_util.Pool.t -> t -> unit
 (** Retrains the ensemble on the stored observations (cheap; histogram
-    trees on at most [window] samples). No-op with fewer than 8 samples. *)
+    trees on at most [window] samples). No-op with fewer than 8 samples.
+    With [?pool], tree fitting parallelizes its per-feature split scans;
+    the model is identical for any pool size. *)
 
 val trained : t -> bool
 
 val predict : t -> Assignment.t -> float
 (** Predicted fitness; 0 when the model is not yet trained. *)
+
+val predict_batch : ?pool:Heron_util.Pool.t -> t -> Assignment.t list -> float list
+(** Batch [predict], optionally fanned out across a domain pool; output
+    order matches input order. *)
 
 val importance : t -> (string * float) list
 (** Features sorted by decreasing total gain; empty when untrained. *)

@@ -43,7 +43,11 @@ let best_split_on xs ys idx feat bins min_samples =
   done;
   !best
 
-let fit ?(params = default_params) ~n_bins xs ys =
+(* Parallelizing the split search below this node population is all
+   overhead: one scan is O(|idx| + bins). *)
+let parallel_scan_threshold = 64
+
+let fit ?(params = default_params) ?pool ~n_bins xs ys =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Tree.fit: empty data";
   if Array.length ys <> n then invalid_arg "Tree.fit: xs/ys length mismatch";
@@ -52,9 +56,21 @@ let fit ?(params = default_params) ~n_bins xs ys =
     if d >= params.max_depth || Array.length idx < 2 * params.min_samples then
       Leaf (mean ys idx)
     else begin
+      (* The per-feature scans are independent pure reads, so they fan out
+         across the pool; the argmax reduction stays sequential in feature
+         order (earlier feature wins ties), keeping the fitted tree
+         identical for any pool size. *)
+      let scan feat =
+        best_split_on xs ys idx feat n_bins.(feat) params.min_samples
+      in
+      let candidates =
+        if Array.length idx >= parallel_scan_threshold then
+          Heron_util.Pool.init ?pool n_features scan
+        else Array.init n_features scan
+      in
       let best = ref None in
       for feat = 0 to n_features - 1 do
-        match best_split_on xs ys idx feat n_bins.(feat) params.min_samples with
+        match candidates.(feat) with
         | Some (bin, gain) -> (
             match !best with
             | Some (_, _, g) when g >= gain -> ()

@@ -12,9 +12,17 @@ val default_params : params
 
 type t
 
-val fit : ?params:params -> n_bins:int array -> int array array -> float array -> t
+val fit :
+  ?params:params ->
+  ?pool:Heron_util.Pool.t ->
+  n_bins:int array ->
+  int array array ->
+  float array ->
+  t
 (** [fit ~n_bins xs ys] trains on samples [xs] (each an array of bin
-    indices, one per feature) with targets [ys].
+    indices, one per feature) with targets [ys]. With [?pool], the
+    per-feature split scan of each node fans out across the pool; the
+    fitted tree is identical for any pool size.
     @raise Invalid_argument on empty or mismatched data. *)
 
 val predict : t -> int array -> float

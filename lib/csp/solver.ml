@@ -276,21 +276,37 @@ let solve ?(max_fails = 4000) ?(max_restarts = 8) ?exact_limit ?stats rng proble
     in
     attempt 0
 
-let rand_sat ?(max_fails = 4000) ?exact_limit rng problem n =
+(* Each draw runs on its own generator, split from the parent in index
+   order before any search starts. Draw i is therefore a pure function of
+   (parent state, i): executing the draws on a domain pool of any size —
+   or sequentially — yields byte-identical solution lists. *)
+let rand_sat ?(max_fails = 4000) ?exact_limit ?pool rng problem n =
   let compiled = compile ?exact_limit problem in
   let root = Array.copy compiled.init_domains in
-  if not (propagate compiled root (all_cons compiled)) then []
+  if n <= 0 || not (propagate compiled root (all_cons compiled)) then []
   else begin
-    let stats = fresh_stats () in
-    let out = ref [] in
-    let misses = ref 0 in
-    while List.length !out < n && !misses < 3 do
-      match search ~max_fails ~stats rng compiled (Array.copy root) with
-      | Some a -> out := a :: !out
-      | None -> incr misses
-    done;
-    List.rev !out
+    let rngs = Rng.split_n rng n in
+    let draw task_rng =
+      let stats = fresh_stats () in
+      let rec go attempt =
+        if attempt >= 3 then None
+        else
+          match search ~max_fails ~stats task_rng compiled (Array.copy root) with
+          | Some _ as a -> a
+          | None -> go (attempt + 1)
+      in
+      go 0
+    in
+    Heron_util.Pool.map ?pool draw rngs |> Array.to_list |> List.filter_map Fun.id
   end
+
+(* Solve a batch of independent problems (one compile each) with per-task
+   split generators; same determinism contract as {!rand_sat}. *)
+let solve_all ?(max_fails = 4000) ?(max_restarts = 8) ?exact_limit ?pool rng problems =
+  let arr = Array.of_list problems in
+  let rngs = Rng.split_n rng (Array.length arr) in
+  let task i = solve ~max_fails ~max_restarts ?exact_limit rngs.(i) arr.(i) in
+  Heron_util.Pool.init ?pool (Array.length arr) task |> Array.to_list
 
 let propagate_domains problem =
   let compiled = compile problem in

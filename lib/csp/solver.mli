@@ -23,11 +23,31 @@ val solve :
     unsatisfiable (definitely, or after exhausting the fail budget). *)
 
 val rand_sat :
-  ?max_fails:int -> ?exact_limit:int -> Heron_util.Rng.t -> Problem.t -> int -> Assignment.t list
+  ?max_fails:int ->
+  ?exact_limit:int ->
+  ?pool:Heron_util.Pool.t ->
+  Heron_util.Rng.t ->
+  Problem.t ->
+  int ->
+  Assignment.t list
 (** [rand_sat rng p n] draws up to [n] valid assignments (duplicates
     possible on tiny spaces, fewer than [n] on hard/unsat problems).
     [exact_limit] caps the domain-size product for exact binary PROD/SUM
-    support pruning; 0 disables it (bounds reasoning only). *)
+    support pruning; 0 disables it (bounds reasoning only). Draw [i] runs
+    on its own generator split from [rng] in index order, so the result is
+    identical with or without a [pool] and for any pool size. *)
+
+val solve_all :
+  ?max_fails:int ->
+  ?max_restarts:int ->
+  ?exact_limit:int ->
+  ?pool:Heron_util.Pool.t ->
+  Heron_util.Rng.t ->
+  Problem.t list ->
+  Assignment.t option list
+(** Solve a batch of independent problems, optionally on a domain pool,
+    with per-task generators split from [rng] in index order. Results are
+    in input order and identical for any pool size. *)
 
 val propagate_domains : Problem.t -> (string * Domain.t) list option
 (** Runs propagation alone and returns the narrowed domains, or [None] on a

@@ -1,12 +1,14 @@
 module Concrete = Heron_sched.Concrete
 module Hashing = Heron_util.Hashing
 
-type t = { desc : Descriptor.t; reps : int; mutable count : int }
+type t = { desc : Descriptor.t; reps : int; count : int Atomic.t }
 
-let create ?(reps = 3) desc = { desc; reps; count = 0 }
+let create ?(reps = 3) desc = { desc; reps; count = Atomic.make 0 }
+
+let count t = Atomic.get t.count
 
 let run t prog =
-  t.count <- t.count + 1;
+  Atomic.incr t.count;
   match Validate.check t.desc prog with
   | Error v -> Error v
   | Ok () ->

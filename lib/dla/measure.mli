@@ -5,10 +5,15 @@
 type t = {
   desc : Descriptor.t;
   reps : int;
-  mutable count : int;  (** total measurement invocations so far *)
+  count : int Atomic.t;
+      (** total measurement invocations so far; atomic because batches of
+          candidates are measured in parallel on a domain pool *)
 }
 
 val create : ?reps:int -> Descriptor.t -> t
+
+val count : t -> int
+(** Measurement invocations so far. *)
 
 val run : t -> Heron_sched.Concrete.t -> (float, Violation.t) result
 (** Average latency in microseconds, or the violation that makes the

@@ -3,8 +3,12 @@
     constraint-handling GA variants across problem sizes). *)
 
 val fig2 : ?budget:int -> ?seed:int -> unit -> string
-val fig12 : ?budget:int -> ?seed:int -> unit -> string
-val fig13 : ?budget:int -> ?seed:int -> unit -> string
+
+val fig12 : ?budget:int -> ?seed:int -> ?pool:Heron_util.Pool.t -> unit -> string
+(** [?pool] parallelizes the CGA runs' measurement/CSP/model phases
+    without changing results for a fixed seed. *)
+
+val fig13 : ?budget:int -> ?seed:int -> ?pool:Heron_util.Pool.t -> unit -> string
 
 val trace_rows :
   checkpoints:int list ->

@@ -48,12 +48,12 @@ let table10 ?(budget = 120) ?(seed = 42) () =
    simulated on-device measurement time)\n\n"
   ^ Report.table ~header:[ "operator"; "AutoTVM"; "AMOS"; "Heron" ] rows
 
-let fig14 ?(budget = 120) ?(seed = 42) () =
+let fig14 ?(budget = 120) ?(seed = 42) ?pool () =
   let desc = Descriptor.v100 in
   let rows =
     List.map
       (fun (name, op) ->
-        let tuned = Pipeline.tune ~budget ~seed desc op in
+        let tuned = Pipeline.tune ~budget ~seed ?pool desc op in
         let o = tuned.Pipeline.outcome in
         let measure =
           simulated_measure_s o.Cga.result.Env.trace ~reps:3 +. o.Cga.time_measure_s

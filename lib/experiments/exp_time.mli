@@ -8,4 +8,7 @@
     cost-model times are real wall-clock seconds of this implementation. *)
 
 val table10 : ?budget:int -> ?seed:int -> unit -> string
-val fig14 : ?budget:int -> ?seed:int -> unit -> string
+
+val fig14 : ?budget:int -> ?seed:int -> ?pool:Heron_util.Pool.t -> unit -> string
+(** [?pool] parallelizes tuning; the reported breakdown then reflects the
+    parallel wall-clock of each phase. *)

@@ -4,6 +4,7 @@ module Cons = Heron_csp.Cons
 module Solver = Heron_csp.Solver
 module Model = Heron_cost.Model
 module Rng = Heron_util.Rng
+module Pool = Heron_util.Pool
 
 type key_selection = By_model | Random_keys
 
@@ -33,6 +34,7 @@ let default_params =
 type outcome = {
   result : Env.result;
   model : Model.t;
+  jobs : int;
   time_search_s : float;
   time_model_s : float;
   time_measure_s : float;
@@ -67,7 +69,11 @@ let roulette rng scored n =
   else
     Array.init n (fun _ ->
         let target = Rng.float rng *. total in
-        let acc = ref 0.0 and chosen = ref (fst scored.(0)) in
+        (* Fall back to the LAST element: when floating-point rounding
+           leaves the cumulative weight just below [target], the draw
+           belongs to the final slot, not to [scored.(0)]. *)
+        let acc = ref 0.0
+        and chosen = ref (fst scored.(Array.length scored - 1)) in
         (try
            Array.iter
              (fun (a, w) ->
@@ -92,12 +98,13 @@ let dedupe assignments =
       end)
     assignments
 
-let run ?(params = default_params) env ~budget =
+let run ?(params = default_params) ?pool env ~budget =
   (* At small budgets, shrink the measurement batch so the cost model still
      sees several train/predict rounds. *)
   let params =
     { params with batch = min params.batch (max 4 (budget / 8)) }
   in
+  let pool = Pool.resolve pool in
   let rec_ = Env.Recorder.create env ~budget in
   let model = Model.create env.Env.problem in
   let time_search = ref 0.0 and time_model = ref 0.0 and time_measure = ref 0.0 in
@@ -118,16 +125,24 @@ let run ?(params = default_params) env ~budget =
     let pop0 =
       timed time_search (fun () ->
           let need = max 2 (params.pop_size - List.length !survivors) in
-          Solver.rand_sat env.Env.rng env.Env.problem need @ List.map fst !survivors)
+          Solver.rand_sat ?pool env.Env.rng env.Env.problem need
+          @ List.map fst !survivors)
     in
     if pop0 = [] then continue := false
     else begin
-      let predict a = max (Model.predict model a) 1e-6 in
+      (* Model scoring of a whole population fans out across the pool;
+         scores come back in population order. *)
+      let predict_all assignments =
+        List.map2
+          (fun a s -> (a, max s 1e-6))
+          assignments
+          (Model.predict_batch ?pool model assignments)
+      in
       (* Step 2: evolve on CSPs for several generations. *)
       let pop = ref (dedupe pop0) in
       timed time_search (fun () ->
           for _g = 1 to params.generations do
-            let scored = Array.of_list (List.map (fun a -> (a, predict a)) !pop) in
+            let scored = Array.of_list (predict_all !pop) in
             let chosen = roulette env.Env.rng scored params.pop_size in
             (* Elitism: every current survivor stays in the crossover pool. *)
             let parents = Array.append chosen (Array.of_list (List.map fst !survivors)) in
@@ -143,17 +158,18 @@ let run ?(params = default_params) env ~budget =
               crossover_csps ~mutation:params.mutation env.Env.rng env.Env.problem ~keys
                 ~parents ~n:params.pop_size
             in
+            (* Offspring CSPs are independent: solve the whole generation
+               on the pool, one split generator per CSP. *)
             let children =
-              List.filter_map
-                (fun csp -> Solver.solve ~max_fails:400 ~max_restarts:0 env.Env.rng csp)
-                csps
+              Solver.solve_all ~max_fails:400 ~max_restarts:0 ?pool env.Env.rng csps
+              |> List.filter_map Fun.id
             in
             pop := dedupe (children @ !pop)
           done);
       (* Step 3: epsilon-greedy selection of the measurement batch. *)
       let fresh =
         List.filter (fun a -> not (Env.Recorder.seen rec_ a)) !pop
-        |> List.map (fun a -> (a, predict a))
+        |> predict_all
         |> List.sort (fun (_, x) (_, y) -> compare y x)
       in
       let batch_n = min params.batch (Env.Recorder.steps_left rec_) in
@@ -163,6 +179,9 @@ let run ?(params = default_params) env ~budget =
       let n_exploit = max 0 (batch_n - n_explore) in
       let top = List.filteri (fun i _ -> i < n_exploit) fresh |> List.map fst in
       let rest = List.filteri (fun i _ -> i >= n_exploit) fresh |> List.map fst in
+      (* Never request more explore samples than [rest] can provide —
+         [Rng.sample] would otherwise under-fill the batch silently. *)
+      let n_explore = min n_explore (List.length rest) in
       let explore = Rng.sample env.Env.rng rest n_explore in
       let chosen = top @ explore in
       if chosen = [] then begin
@@ -171,15 +190,16 @@ let run ?(params = default_params) env ~budget =
       end
       else begin
         dry_iterations := 0;
-        let measured =
-          List.map
-            (fun a -> (a, timed time_measure (fun () -> Env.Recorder.eval rec_ a)))
-            chosen
+        (* The whole batch is measured in parallel; bookkeeping stays in
+           submission order inside [eval_batch]. *)
+        let latencies =
+          timed time_measure (fun () -> Env.Recorder.eval_batch ?pool rec_ chosen)
         in
+        let measured = List.combine chosen latencies in
         (* Step 4: update the cost model on the measured scores. *)
         timed time_model (fun () ->
             List.iter (fun (a, l) -> Model.record model a (Env.score l)) measured;
-            Model.refit model);
+            Model.refit ?pool model);
         let valid =
           List.filter_map (fun (a, l) -> match l with Some v -> Some (a, v) | None -> None)
             measured
@@ -193,6 +213,7 @@ let run ?(params = default_params) env ~budget =
   {
     result = Env.Recorder.finish rec_;
     model;
+    jobs = (match pool with Some p -> Pool.jobs p | None -> 1);
     time_search_s = !time_search;
     time_model_s = !time_model;
     time_measure_s = !time_measure;

@@ -29,12 +29,23 @@ val default_params : params
 type outcome = {
   result : Env.result;
   model : Model.t;
+  jobs : int;  (** domain-pool parallelism the run executed with *)
   time_search_s : float;  (** CGA evolution time, CSP solving included *)
   time_model_s : float;  (** cost-model training time *)
   time_measure_s : float;  (** DLA measurement time *)
 }
 
-val run : ?params:params -> Env.t -> budget:int -> outcome
+val run : ?params:params -> ?pool:Heron_util.Pool.t -> Env.t -> budget:int -> outcome
+(** Explore under the measurement budget. With [?pool] (or a process
+    default pool, see {!Heron_util.Pool.set_default}), the three hot
+    phases — batch measurement, CSP sampling/crossover solving, and
+    cost-model training/scoring — fan out across the pool's domains.
+
+    Determinism: per-task generators are split from [env.rng] in index
+    order and results always merge by task index, so a fixed seed yields a
+    byte-identical [result.trace] whatever the pool size (including no
+    pool at all). The per-phase wall-clock fields plus [jobs] let callers
+    compute parallel speedups. *)
 
 val crossover_csps :
   ?mutation:bool ->

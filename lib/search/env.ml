@@ -77,6 +77,77 @@ module Recorder = struct
           l
         end
 
+  (* What [eval] would do with one batch element, decided up front so the
+     expensive [measure] calls can run in parallel while every piece of
+     mutable bookkeeping stays sequential. *)
+  type plan =
+    | Cached of string  (* replay of a pre-batch cache entry *)
+    | Run of int  (* fresh measurement, index into the parallel job array *)
+    | Dup of int  (* same key as job i, measured earlier in this batch *)
+    | Skip  (* budget exhausted: eval would return None unmeasured *)
+
+  let eval_batch ?pool r batch =
+    let batch = Array.of_list batch in
+    let n = Array.length batch in
+    (* Phase 1 — sequential classification, mirroring [eval] exactly:
+       cache lookups, the budget check against steps consumed by earlier
+       batch elements, and within-batch duplicates (the second occurrence
+       of a key replays the first one's cache entry). *)
+    let plans = Array.make n Skip in
+    let jobs_rev = ref [] and n_jobs = ref 0 in
+    let evals_v = ref r.evals and steps_v = ref r.steps in
+    let fresh_keys = Hashtbl.create (2 * n) in
+    for i = 0 to n - 1 do
+      incr evals_v;
+      let key = Assignment.key batch.(i) in
+      if Hashtbl.mem r.cache key then plans.(i) <- Cached key
+      else
+        match Hashtbl.find_opt fresh_keys key with
+        | Some j -> plans.(i) <- Dup j
+        | None ->
+            if !steps_v >= r.budget || !evals_v >= 50 * r.budget then
+              plans.(i) <- Skip
+            else begin
+              plans.(i) <- Run !n_jobs;
+              Hashtbl.replace fresh_keys key !n_jobs;
+              jobs_rev := batch.(i) :: !jobs_rev;
+              incr n_jobs;
+              incr steps_v
+            end
+    done;
+    (* Phase 2 — the only parallel part: run the measurer on every fresh
+       candidate. Results land by job index. *)
+    let jobs = Array.of_list (List.rev !jobs_rev) in
+    let measured = Heron_util.Pool.map ?pool r.env.measure jobs in
+    (* Phase 3 — sequential commit in submission order, byte-identical to
+       calling [eval] element by element. *)
+    Array.to_list
+      (Array.mapi
+         (fun i a ->
+           r.evals <- r.evals + 1;
+           match plans.(i) with
+           | Cached key -> Hashtbl.find r.cache key
+           | Dup j -> measured.(j)
+           | Skip -> None
+           | Run j ->
+               let l = measured.(j) in
+               Hashtbl.replace r.cache (Assignment.key a) l;
+               r.steps <- r.steps + 1;
+               (match l with
+               | None -> r.invalid <- r.invalid + 1
+               | Some lat ->
+                   let better =
+                     match r.best with None -> true | Some b -> lat < b
+                   in
+                   if better then begin
+                     r.best <- Some lat;
+                     r.best_a <- Some a
+                   end);
+               r.trace_rev <-
+                 { step = r.steps; latency = l; best = r.best } :: r.trace_rev;
+               l)
+         batch)
+
   let finish r =
     {
       best_latency = r.best;

@@ -47,6 +47,15 @@ module Recorder : sig
       secondary cap (50x budget total evaluations) guarantees termination
       for searchers that converge onto already-measured points. *)
 
+  val eval_batch :
+    ?pool:Heron_util.Pool.t -> r -> Assignment.t list -> float option list
+  (** [eval_batch ?pool r batch] is observably identical to
+      [List.map (eval r) batch] — same return values, cache, trace, best
+      tracking and budget accounting, all updated in submission order —
+      but the underlying hardware measurements of fresh candidates run in
+      parallel on [pool]. Pool size cannot change the result, only the
+      wall-clock. *)
+
   val seen : r -> Assignment.t -> bool
   val finish : r -> result
 end

@@ -15,6 +15,17 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  (* Explicit loop: the parent must advance in index order, so task i's
+     stream is a function of (seed, i) alone — never of Array.init's
+     unspecified evaluation order or of who executes the task. *)
+  let out = Array.make n t in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -14,6 +14,12 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent generators, advancing [t] [n]
+    times. Generator [i] depends only on [t]'s state and [i], making it
+    the unit of determinism for parallel fan-out: hand generator [i] to
+    task [i] and results are reproducible whatever the execution order. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 

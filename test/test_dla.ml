@@ -181,7 +181,7 @@ let test_measure_counts_and_average () =
       let base = Perf.latency_us D.v100 prog in
       Alcotest.(check bool) "close to model" true (abs_float (l -. base) < 0.02 *. base));
   ignore (Measure.run m prog);
-  Alcotest.(check int) "count" 2 m.Measure.count
+  Alcotest.(check int) "count" 2 (Measure.count m)
 
 let test_measure_rejects_invalid () =
   let gen, a = solve_gemm D.v100 in

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "heron"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("tensor", Test_tensor.suite);
       ("csp", Test_csp.suite);
       ("sched", Test_sched.suite);

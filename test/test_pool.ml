@@ -1,0 +1,116 @@
+(* Tests for the domain pool: correctness of the parallel combinators
+   (results by index), exception propagation, nested maps, degenerate
+   inputs, and the graceful-shutdown/inline fallback behavior. *)
+
+module Pool = Heron_util.Pool
+
+let with_pool domains f = Pool.with_pool ~domains f
+
+let test_map_matches_sequential () =
+  with_pool 4 (fun pool ->
+      let xs = Array.init 1000 (fun i -> i) in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (array int))
+        "parallel = sequential" (Array.map f xs)
+        (Pool.parallel_map pool f xs))
+
+let test_init_matches_sequential () =
+  with_pool 3 (fun pool ->
+      let f i = Printf.sprintf "item-%d" (i * 7) in
+      Alcotest.(check (array string))
+        "parallel_init = Array.init" (Array.init 257 f)
+        (Pool.parallel_init pool 257 f))
+
+let test_empty_inputs () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (array int)) "empty map" [||] (Pool.parallel_map pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "empty init" [||] (Pool.parallel_init pool 0 (fun i -> i));
+      Alcotest.(check (list int)) "empty map_list" [] (Pool.map_list ~pool (fun x -> x) []))
+
+let test_single_element () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (array int)) "one element" [| 42 |]
+        (Pool.parallel_map pool (fun x -> x + 1) [| 41 |]))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  with_pool 4 (fun pool ->
+      match Pool.parallel_map pool (fun i -> if i >= 100 then raise (Boom i) else i)
+              (Array.init 400 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "must raise"
+      | exception Boom i ->
+          (* The exception of the lowest-indexed failing element wins,
+             whatever the completion order of the chunks. *)
+          Alcotest.(check int) "lowest failing index" 100 i)
+
+let test_pool_survives_exception () =
+  with_pool 4 (fun pool ->
+      (try ignore (Pool.parallel_map pool (fun _ -> raise Exit) [| 1; 2; 3 |])
+       with Exit -> ());
+      Alcotest.(check (array int)) "pool still works" [| 2; 4; 6 |]
+        (Pool.parallel_map pool (fun x -> 2 * x) [| 1; 2; 3 |]))
+
+let test_nested_maps () =
+  (* A worker blocking on an inner batch must keep executing chunks itself
+     rather than deadlocking the pool. *)
+  with_pool 4 (fun pool ->
+      let outer =
+        Pool.parallel_init pool 8 (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.parallel_init pool 50 (fun j -> (i * 1000) + j)))
+      in
+      let expect = Array.init 8 (fun i -> (50 * 1000 * i) + (50 * 49 / 2)) in
+      Alcotest.(check (array int)) "nested sums" expect outer)
+
+let test_pool_of_one_runs_inline () =
+  with_pool 1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+      let seen = ref [] in
+      ignore (Pool.parallel_map pool (fun i -> seen := i :: !seen; i) (Array.init 5 (fun i -> i)));
+      (* Inline execution is strictly in index order. *)
+      Alcotest.(check (list int)) "index order" [ 4; 3; 2; 1; 0 ] !seen)
+
+let test_shutdown_idempotent_and_inline_after () =
+  let pool = Pool.create ~domains:4 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "inline after shutdown" [| 1; 2; 3 |]
+    (Pool.parallel_map pool (fun x -> x + 1) [| 0; 1; 2 |])
+
+let test_default_pool_resolution () =
+  Alcotest.(check bool) "no default" true (Pool.resolve None = None);
+  with_pool 2 (fun pool ->
+      Pool.set_default (Some pool);
+      Fun.protect
+        ~finally:(fun () -> Pool.set_default None)
+        (fun () ->
+          (match Pool.resolve None with
+          | Some p -> Alcotest.(check int) "resolves default" 2 (Pool.jobs p)
+          | None -> Alcotest.fail "default pool must resolve");
+          with_pool 3 (fun other ->
+              match Pool.resolve (Some other) with
+              | Some p -> Alcotest.(check int) "explicit wins" 3 (Pool.jobs p)
+              | None -> Alcotest.fail "explicit pool must resolve")))
+
+let test_map_list_order () =
+  with_pool 4 (fun pool ->
+      let xs = List.init 100 (fun i -> i) in
+      Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * 3) xs)
+        (Pool.map_list ~pool (fun x -> x * 3) xs))
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+    Alcotest.test_case "init matches sequential" `Quick test_init_matches_sequential;
+    Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+    Alcotest.test_case "single element" `Quick test_single_element;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "pool survives exception" `Quick test_pool_survives_exception;
+    Alcotest.test_case "nested maps" `Quick test_nested_maps;
+    Alcotest.test_case "pool of one inline" `Quick test_pool_of_one_runs_inline;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_and_inline_after;
+    Alcotest.test_case "default pool resolution" `Quick test_default_pool_resolution;
+    Alcotest.test_case "map_list order" `Quick test_map_list_order;
+  ]

@@ -190,6 +190,58 @@ let test_cga_deterministic_given_seed () =
   in
   Alcotest.(check bool) "same result" true (run () = run ())
 
+(* The multicore determinism contract: a fixed seed yields byte-identical
+   results — best latency, full trace and invalid count — whatever the
+   domain-pool size, including no pool at all. *)
+let test_cga_trace_identical_across_jobs () =
+  let run pool =
+    let o = Cga.run ?pool (fig5_env 21) ~budget:40 in
+    ( o.Cga.result.Env.best_latency,
+      o.Cga.result.Env.trace,
+      o.Cga.result.Env.invalid )
+  in
+  let sequential = run None in
+  Heron_util.Pool.with_pool ~domains:1 (fun p ->
+      Alcotest.(check bool) "jobs=1 identical" true (run (Some p) = sequential));
+  Heron_util.Pool.with_pool ~domains:4 (fun p ->
+      Alcotest.(check bool) "jobs=4 identical" true (run (Some p) = sequential))
+
+(* eval_batch must be observably identical to evaluating the batch one
+   call at a time: same returns, trace, best, budget accounting — across
+   cache replays, within-batch duplicates, invalid programs and budget
+   exhaustion mid-batch. *)
+let test_eval_batch_matches_sequential_eval () =
+  let assignment x y z = Assignment.of_list [ ("x", x); ("y", y); ("z", z); ("xy", x * y) ] in
+  let batch =
+    [
+      assignment 1 5 1;
+      assignment 2 4 0;
+      assignment 1 5 1 (* within-batch duplicate: replay, no budget *);
+      assignment 5 5 0 (* invalid: x*y = 25 violates xy <= 8 *);
+      assignment 1 3 0;
+      assignment 2 3 1;
+      assignment 1 4 0 (* budget (5) exhausted from here on *);
+      assignment 2 2 1;
+    ]
+  in
+  let run_with eval_list =
+    let r = Env.Recorder.create (fig5_env 17) ~budget:5 in
+    ignore (Env.Recorder.eval r (assignment 1 1 0));  (* pre-batch cache entry *)
+    let pre_cached = Env.Recorder.eval r (assignment 1 1 0) in
+    let out = eval_list r batch in
+    (pre_cached, out, Env.Recorder.steps_left r, Env.Recorder.finish r)
+  in
+  let sequential = run_with (fun r b -> List.map (Env.Recorder.eval r) b) in
+  let singletons =
+    run_with (fun r b -> List.concat_map (fun a -> Env.Recorder.eval_batch r [ a ]) b)
+  in
+  let batched = run_with (fun r b -> Env.Recorder.eval_batch r b) in
+  Alcotest.(check bool) "singleton batches = sequential" true (singletons = sequential);
+  Alcotest.(check bool) "one batch = sequential" true (batched = sequential);
+  Heron_util.Pool.with_pool ~domains:4 (fun pool ->
+      let pooled = run_with (fun r b -> Env.Recorder.eval_batch ~pool r b) in
+      Alcotest.(check bool) "pooled = sequential" true (pooled = sequential))
+
 let suite =
   [
     Alcotest.test_case "fig5 optimum" `Quick test_fig5_optimum_known;
@@ -208,4 +260,8 @@ let suite =
     Alcotest.test_case "GA terminates on tiny space" `Quick test_ga_terminates_on_tiny_space;
     Alcotest.test_case "SA terminates on tiny space" `Quick test_sa_terminates_on_tiny_space;
     Alcotest.test_case "CGA deterministic" `Quick test_cga_deterministic_given_seed;
+    Alcotest.test_case "CGA trace identical across jobs" `Quick
+      test_cga_trace_identical_across_jobs;
+    Alcotest.test_case "eval_batch = sequential eval" `Quick
+      test_eval_batch_matches_sequential_eval;
   ]
