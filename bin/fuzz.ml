@@ -1,0 +1,98 @@
+(* Open-ended property-based fuzzing campaigns over the whole stack:
+   differential CSP-solver verification against the brute-force oracle,
+   DLA validator/perf-model metamorphic properties, and search-level
+   invariants. `dune runtest` runs the same properties at a small budget;
+   this driver exists for big-budget campaigns and one-command replay of
+   any failure it (or the test suite) reports. *)
+
+open Cmdliner
+module Replay = Heron_check.Replay
+module Suite = Heron_check.Suite
+
+let matches filter name =
+  match filter with
+  | None -> true
+  | Some f ->
+      let lower s = String.lowercase_ascii s in
+      let f = lower f and name = lower name in
+      let fl = String.length f and nl = String.length name in
+      let rec at i = i + fl <= nl && (String.sub name i fl = f || at (i + 1)) in
+      at 0
+
+let collect ~budget ~filter =
+  Suite.all ~budget
+  |> List.concat_map (fun (group, tests) ->
+         List.filter_map
+           (fun t ->
+             let name = Replay.test_name t in
+             if matches filter name || matches filter group then Some (group, name, t)
+             else None)
+           tests)
+
+let run budget seed filter list_only =
+  let tests = collect ~budget ~filter in
+  if list_only then begin
+    List.iter (fun (group, name, _) -> Printf.printf "%-8s %s\n" group name) tests;
+    0
+  end
+  else begin
+    Printf.printf "fuzz: %d properties, budget %d, seed %d\n%!" (List.length tests) budget seed;
+    let failures = ref 0 in
+    List.iter
+      (fun (group, name, t) ->
+        let t0 = Unix.gettimeofday () in
+        match Replay.run_test ~seed t with
+        | () ->
+            Printf.printf "PASS %-8s %s (%.1fs)\n%!" group name (Unix.gettimeofday () -. t0)
+        | exception e ->
+            incr failures;
+            Printf.printf "FAIL %-8s %s (%.1fs)\n%s\n" group name
+              (Unix.gettimeofday () -. t0) (Printexc.to_string e);
+            Printf.printf
+              "     replay: dune exec bin/fuzz.exe -- --budget %d --seed %d --filter %S\n%!"
+              budget seed name)
+      tests;
+    if !failures = 0 then begin
+      Printf.printf "fuzz: all %d properties passed\n" (List.length tests);
+      0
+    end
+    else begin
+      Printf.printf "fuzz: %d of %d properties FAILED\n" !failures (List.length tests);
+      1
+    end
+  end
+
+let () =
+  let budget =
+    Arg.(
+      value & opt int 1000
+      & info [ "budget"; "b" ] ~docv:"N"
+          ~doc:"Generated cases per differential property (derived groups scale down).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Replay.default_seed
+      & info [ "seed"; "s" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed. Each property derives its generator state from \
+             (seed, property name), so --filter never shifts another \
+             property's stream and any reported failure replays \
+             byte-identically.")
+  in
+  let filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter"; "f" ] ~docv:"SUBSTR"
+          ~doc:"Only run properties whose name or group contains $(docv) (case-insensitive).")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list"; "l" ] ~doc:"List matching properties and exit.")
+  in
+  let term = Term.(const run $ budget $ seed $ filter $ list_only) in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:"Property-based fuzzing campaigns for the Heron CSP solver, DLA layer and search."
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,106 @@
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Solver = Heron_csp.Solver
+module Domain = Heron_csp.Domain
+module Rng = Heron_util.Rng
+
+(* A fail budget larger than any generated space (10^4 assignments), so
+   backtracking search is exhaustive and None means UNSAT, not give-up. *)
+let exhaustive = 1_000_000
+
+let small_problem sp =
+  let p = Csp_gen.to_problem sp in
+  QCheck.assume (Oracle.space_size p <= 10_000);
+  p
+
+let keys l = List.sort compare (List.map Assignment.key l)
+
+let with_seed arb = QCheck.pair arb QCheck.small_int
+
+let solve_agrees arb ~count =
+  QCheck.Test.make ~name:"diff: solve sound + complete vs oracle" ~count (with_seed arb)
+    (fun (sp, seed) ->
+      let p = small_problem sp in
+      let sat = Oracle.is_sat p in
+      match Solver.solve ~max_fails:exhaustive ~max_restarts:0 (Rng.create seed) p with
+      | Some a -> Problem.check p a = Ok () && sat
+      | None -> not sat)
+
+let solve_bounds_only_agrees arb ~count =
+  QCheck.Test.make ~name:"diff: bounds-only solve sound + complete vs oracle" ~count
+    (with_seed arb) (fun (sp, seed) ->
+      let p = small_problem sp in
+      let sat = Oracle.is_sat p in
+      match
+        Solver.solve ~exact_limit:0 ~max_fails:exhaustive ~max_restarts:0 (Rng.create seed) p
+      with
+      | Some a -> Problem.check p a = Ok () && sat
+      | None -> not sat)
+
+let enumerate_equals_oracle arb ~count =
+  QCheck.Test.make ~name:"diff: enumerate = oracle solution set" ~count arb (fun sp ->
+      let p = small_problem sp in
+      keys (Solver.enumerate ~limit:20_000 p) = keys (Oracle.solutions p))
+
+let rand_sat_sound_complete arb ~count =
+  QCheck.Test.make ~name:"diff: rand_sat sound, complete on sat, empty on unsat" ~count
+    (with_seed arb) (fun (sp, seed) ->
+      let p = small_problem sp in
+      let n = 4 in
+      let sols = Solver.rand_sat ~max_fails:exhaustive (Rng.create seed) p n in
+      List.for_all (fun a -> Problem.check p a = Ok ()) sols
+      && List.length sols = if Oracle.is_sat p then n else 0)
+
+let solve_all_agrees arb ~count =
+  QCheck.Test.make ~name:"diff: solve_all per-problem agreement with oracle" ~count
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 3) arb) QCheck.small_int)
+    (fun (sps, seed) ->
+      let ps = List.map Csp_gen.to_problem sps in
+      QCheck.assume (List.for_all (fun p -> Oracle.space_size p <= 10_000) ps);
+      let outs = Solver.solve_all ~max_fails:exhaustive ~max_restarts:0 (Rng.create seed) ps in
+      List.length outs = List.length ps
+      && List.for_all2
+           (fun p out ->
+             match out with
+             | Some a -> Problem.check p a = Ok () && Oracle.is_sat p
+             | None -> not (Oracle.is_sat p))
+           ps outs)
+
+let propagation_keeps_solutions arb ~count =
+  QCheck.Test.make ~name:"diff: propagation never prunes an oracle solution" ~count arb
+    (fun sp ->
+      let p = small_problem sp in
+      let sols = Oracle.solutions p in
+      match Solver.propagate_domains p with
+      | None -> sols = []
+      | Some doms ->
+          List.for_all
+            (fun a ->
+              List.for_all (fun (v, d) -> Domain.mem (Assignment.get a v) d) doms)
+            sols)
+
+let reorder_invariance arb ~count =
+  QCheck.Test.make ~name:"diff: propagation and solution set invariant under cons reorder"
+    ~count (with_seed arb) (fun (sp, seed) ->
+      let p = small_problem sp in
+      let sp' = Csp_gen.permute_cons sp (Rng.create seed) in
+      let p' = Csp_gen.to_problem sp' in
+      let doms_of q =
+        match Solver.propagate_domains q with
+        | None -> None
+        | Some doms -> Some (List.sort compare (List.map (fun (v, d) -> (v, Domain.to_list d)) doms))
+      in
+      doms_of p = doms_of p'
+      && keys (Solver.enumerate ~limit:20_000 p) = keys (Solver.enumerate ~limit:20_000 p'))
+
+let tests ?(count = 300) () =
+  let arb = Csp_gen.arbitrary () in
+  [
+    solve_agrees arb ~count;
+    solve_bounds_only_agrees arb ~count;
+    enumerate_equals_oracle arb ~count;
+    rand_sat_sound_complete arb ~count;
+    solve_all_agrees arb ~count;
+    propagation_keeps_solutions arb ~count;
+    reorder_invariance arb ~count;
+  ]

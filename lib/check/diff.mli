@@ -1,0 +1,13 @@
+(** Differential verification of {!Heron_csp.Solver} against the
+    brute-force {!Oracle}, as QCheck properties over {!Csp_gen} problems.
+
+    Each property checks, on every generated CSP (domain product <= 10^4):
+    soundness (anything the solver emits re-validates against the
+    constraints), completeness-on-sat (given an exhaustive fail budget, the
+    solver finds a solution whenever the oracle says one exists), UNSAT
+    agreement, and metamorphic reorder-invariance of propagation and of the
+    solution set. [rand_sat]/[solve_all] are additionally pinned to their
+    split-generator determinism contract. *)
+
+val tests : ?count:int -> unit -> QCheck.Test.t list
+(** [count] generated problems per property (default 300). *)

@@ -1,0 +1,122 @@
+module Op = Heron_tensor.Op
+module Problem = Heron_csp.Problem
+module Domain = Heron_csp.Domain
+module Solver = Heron_csp.Solver
+module Concrete = Heron_sched.Concrete
+module Descriptor = Heron_dla.Descriptor
+module Validate = Heron_dla.Validate
+module Perf_model = Heron_dla.Perf_model
+module Measure = Heron_dla.Measure
+module Generator = Heron.Generator
+module Rng = Heron_util.Rng
+
+(* Space construction is the expensive part; build each once, lazily, and
+   share it across all properties and all generated cases. *)
+let spaces =
+  lazy
+    (List.map
+       (fun (desc, op) -> (desc, Generator.generate ~seed:7 desc op))
+       [
+         (Descriptor.v100, Op.gemm ~dt:F16 ~m:256 ~n:256 ~k:256 ());
+         (Descriptor.dlboost, Op.gemm ~dt:I8 ~m:128 ~n:128 ~k:128 ());
+         (Descriptor.vta, Op.gemm ~dt:I8 ~m:64 ~n:256 ~k:256 ());
+       ])
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+
+(* One program per (descriptor, seed): rand_sat must succeed — that the
+   constrained space stays solvable is itself part of the property. *)
+let draw (gen : Generator.t) rng =
+  match Solver.rand_sat rng gen.problem 1 with
+  | [ a ] -> Some (a, Concrete.instantiate gen.template a)
+  | _ -> None
+
+let for_all_spaces seed f =
+  List.for_all
+    (fun (i, (desc, gen)) -> f desc gen (Rng.create ((seed * 31) + i)))
+    (List.mapi (fun i s -> (i, s)) (Lazy.force spaces))
+
+let valid_by_construction ~count =
+  QCheck.Test.make ~name:"dla: sampled assignments instantiate to valid programs" ~count
+    seed_arb (fun seed ->
+      for_all_spaces seed (fun desc gen rng ->
+          match draw gen rng with
+          | None -> false
+          | Some (a, prog) ->
+              Problem.check gen.problem a = Ok () && Validate.check desc prog = Ok ()))
+
+let shuffle_cons p rng =
+  let cs = Array.of_list (Problem.constraints p) in
+  let perm = Rng.permutation rng (Array.length cs) in
+  let parts =
+    Array.to_list (Array.map (fun v -> (v, Problem.domain p v)) (Problem.vars p))
+  in
+  Problem.of_parts parts (Array.to_list (Array.map (fun i -> cs.(i)) perm))
+
+let reorder_invariance ~count =
+  QCheck.Test.make ~name:"dla: constraint reorder preserves propagation and validity" ~count
+    seed_arb (fun seed ->
+      for_all_spaces seed (fun desc gen rng ->
+          let p' = shuffle_cons gen.problem rng in
+          let doms_of q =
+            match Solver.propagate_domains q with
+            | None -> None
+            | Some ds ->
+                Some (List.sort compare (List.map (fun (v, d) -> (v, Domain.to_list d)) ds))
+          in
+          doms_of gen.problem = doms_of p'
+          &&
+          (* A sample from the reordered space is a sample from the space. *)
+          match Solver.rand_sat rng p' 1 with
+          | [ a ] ->
+              Problem.check gen.problem a = Ok ()
+              && Validate.check desc (Concrete.instantiate gen.template a) = Ok ()
+          | _ -> false))
+
+let tighten desc =
+  Descriptor.
+    { desc with spm_capacity = List.map (fun (s, c) -> (s, c / 2)) desc.spm_capacity }
+
+let spm_monotone ~count =
+  QCheck.Test.make
+    ~name:"dla: halving scratchpads lowers blocks/unit, raises waves, shrinks valid set"
+    ~count seed_arb (fun seed ->
+      for_all_spaces seed (fun desc gen rng ->
+          match draw gen rng with
+          | None -> false
+          | Some (_, prog) ->
+              let tight = tighten desc in
+              let b = Perf_model.analyze desc prog in
+              let b' = Perf_model.analyze tight prog in
+              b'.blocks_per_unit <= b.blocks_per_unit
+              && b'.waves >= b.waves
+              && ((not (Validate.is_valid tight prog)) || Validate.is_valid desc prog)))
+
+let measure_matches_validate ~count =
+  QCheck.Test.make ~name:"dla: Measure.run agrees with Validate and the perf model" ~count
+    seed_arb (fun seed ->
+      for_all_spaces seed (fun desc gen rng ->
+          match draw gen rng with
+          | None -> false
+          | Some (_, prog) ->
+              let m = Measure.create desc in
+              let tight_prog_ok = Validate.check desc prog = Ok () in
+              (match Measure.run m prog with
+              | Ok lat ->
+                  let base = Perf_model.latency_us desc prog in
+                  tight_prog_ok && lat > 0.0
+                  && Float.abs (lat -. base) <= (0.011 *. base) +. 1e-9
+              | Error _ -> not tight_prog_ok)
+              (* The invalid side, on a program made invalid on purpose. *)
+              &&
+              let tight = tighten (tighten desc) in
+              let mt = Measure.create tight in
+              (Measure.run mt prog |> Result.is_ok) = Validate.is_valid tight prog))
+
+let tests ?(count = 40) () =
+  [
+    valid_by_construction ~count;
+    reorder_invariance ~count;
+    spm_monotone ~count;
+    measure_matches_validate ~count;
+  ]

@@ -1,0 +1,20 @@
+(** Metamorphic and invariant properties over the DLA layer: spaces built
+    by the real {!Heron.Generator} on three descriptor families, programs
+    drawn with [rand_sat], checked through {!Heron_dla.Validate},
+    {!Heron_dla.Perf_model} and {!Heron_dla.Measure}.
+
+    - every sampled assignment instantiates to a validator-clean program
+      (the paper's "constrained space = valid space" claim);
+    - constraint order never changes propagation or sampled-program
+      validity;
+    - halving every scratchpad capacity can only lower [blocks_per_unit],
+      raise [waves], and shrink the valid set;
+    - [Measure.run] succeeds exactly when [Validate.check] does and stays
+      within the model's documented noise envelope. *)
+
+val tests : ?count:int -> unit -> QCheck.Test.t list
+(** [count] sampled programs per property per descriptor (default 40). *)
+
+val spaces : (Heron_dla.Descriptor.t * Heron.Generator.t) list Lazy.t
+(** The shared descriptor/space fixtures (v100 f16 GEMM, DLBoost i8 GEMM,
+    VTA i8 GEMM), built once on first force and reused by {!Search_props}. *)

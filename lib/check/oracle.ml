@@ -1,0 +1,35 @@
+module Domain = Heron_csp.Domain
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+
+let space_size p =
+  Array.fold_left
+    (fun acc v ->
+      let s = Domain.size (Problem.domain p v) in
+      if acc > max_int / 2 / max s 1 then max_int / 2 else acc * s)
+    1 (Problem.vars p)
+
+let enum_solutions ~limit p =
+  let vars = Array.to_list (Problem.vars p) in
+  let out = ref [] and n = ref 0 in
+  let rec go acc = function
+    | [] ->
+        if Problem.check p acc = Ok () then begin
+          out := acc :: !out;
+          incr n
+        end
+    | v :: rest ->
+        Domain.iter
+          (fun value -> if !n < limit then go (Assignment.set acc v value) rest)
+          (Problem.domain p v)
+  in
+  go Assignment.empty vars;
+  !out
+
+let solutions ?(limit = max_int) p =
+  enum_solutions ~limit p
+  |> List.sort (fun a b -> compare (Assignment.key a) (Assignment.key b))
+
+let is_sat p = enum_solutions ~limit:1 p <> []
+
+let count p = List.length (enum_solutions ~limit:max_int p)

@@ -1,0 +1,22 @@
+(** Brute-force CSP oracle.
+
+    Exhaustively enumerates the cross product of the domains and filters
+    with {!Heron_csp.Problem.check} — no propagation, no search heuristics,
+    nothing shared with {!Heron_csp.Solver}. On small problems this is the
+    ground truth the solver is differentially verified against: the two
+    implementations only agree because both are correct. *)
+
+val space_size : Heron_csp.Problem.t -> int
+(** Product of all domain sizes (the cost of one oracle call). Saturates at
+    [max_int / 2] instead of overflowing. *)
+
+val solutions : ?limit:int -> Heron_csp.Problem.t -> Heron_csp.Assignment.t list
+(** All satisfying total assignments, by exhaustive enumeration, sorted by
+    {!Heron_csp.Assignment.key}. Stops after [limit] solutions (default:
+    unlimited). Only call on problems with a small {!space_size}. *)
+
+val is_sat : Heron_csp.Problem.t -> bool
+(** Exhaustive satisfiability (early exit on the first solution). *)
+
+val count : Heron_csp.Problem.t -> int
+(** Number of satisfying assignments. *)

@@ -1,0 +1,27 @@
+let default_seed = 42
+
+let seed_from_env () =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> default_seed)
+  | None -> default_seed
+
+let test_name (QCheck2.Test.Test cell) = QCheck2.Test.get_name cell
+
+let rand_for ~seed name =
+  let h = Int64.to_int (Heron_util.Hashing.fnv1a name) land 0x3FFFFFFF in
+  Random.State.make [| seed; h |]
+
+let run_test ~seed t = QCheck.Test.check_exn ~rand:(rand_for ~seed (test_name t)) t
+
+let to_alcotest ?(speed = `Quick) ~seed t =
+  let name = test_name t in
+  Alcotest.test_case name speed (fun () ->
+      try run_test ~seed t
+      with e ->
+        Printf.printf
+          "\n\
+           [qcheck] property %S failed under campaign seed %d\n\
+           [qcheck] replay: QCHECK_SEED=%d dune runtest\n\
+           [qcheck] replay: dune exec bin/fuzz.exe -- --seed %d --filter %S\n%!"
+          name seed seed seed name;
+        raise e)

@@ -1,0 +1,27 @@
+(** Seed plumbing shared by the three test tiers.
+
+    Every property runs on a [Random.State.t] derived from one campaign
+    seed plus the property's name, so (a) a whole run replays from a single
+    integer, (b) filtering tests in or out never shifts another test's
+    stream, and (c) any failure message carries the exact command that
+    reproduces it byte-identically. *)
+
+val default_seed : int
+
+val seed_from_env : unit -> int
+(** [QCHECK_SEED] when set (and numeric), {!default_seed} otherwise. *)
+
+val test_name : QCheck.Test.t -> string
+
+val rand_for : seed:int -> string -> Random.State.t
+(** The per-property generator state: a pure function of (seed, name). *)
+
+val run_test : seed:int -> QCheck.Test.t -> unit
+(** {!QCheck.Test.check_exn} on the per-property state. Raises on failure
+    with the shrunk counterexample in the message. *)
+
+val to_alcotest :
+  ?speed:Alcotest.speed_level -> seed:int -> QCheck.Test.t -> unit Alcotest.test_case
+(** Alcotest adapter that, on any property failure, first prints the qcheck
+    seed and the two replay commands ([QCHECK_SEED=... dune runtest] and
+    [bin/fuzz --seed ... --filter ...]) before re-raising. *)

@@ -1,0 +1,13 @@
+(** Search-level invariants (paper Algorithms 2 and 3):
+
+    - constraint-based crossover only ever materializes offspring that
+      satisfy the original CSP — checked both on random {!Csp_gen} problems
+      (against the {!Oracle}) and on a real generated DLA space (against
+      {!Heron_dla.Validate});
+    - a full CGA run is byte-deterministic in its trace, incumbent and
+      invalid count whatever the domain-pool size, and explores zero
+      invalid candidates on a constrained space. *)
+
+val tests : ?count:int -> unit -> QCheck.Test.t list
+(** [count] cases per property (default 20); the CGA end-to-end property
+    runs [max 1 (count / 3)] cases. *)

@@ -1,0 +1,7 @@
+let all ~budget =
+  let at n = max 1 n in
+  [
+    ("diff", Diff.tests ~count:(at budget) ());
+    ("dla", Dla_props.tests ~count:(at (budget / 8)) ());
+    ("search", Search_props.tests ~count:(at (budget / 15)) ());
+  ]

@@ -1,0 +1,6 @@
+(** The full property catalogue, grouped, with per-group case counts scaled
+    from one overall budget (cases per differential property). *)
+
+val all : budget:int -> (string * QCheck.Test.t list) list
+(** Groups: ["diff"] at [budget] cases, ["dla"] at [budget / 8], ["search"]
+    at [budget / 15] (all clamped to at least 1). *)

@@ -100,16 +100,23 @@ let revise_prod ~exact_limit doms changed v vs =
       set_dom doms changed v d;
       set_dom doms changed x d
   | [| a; b |] when Domain.size doms.(a) * Domain.size doms.(b) <= exact_limit ->
-      let da = doms.(a) and db = doms.(b) and dv = doms.(v) in
+      (* Every filter below reads the live domains: [v], [a] and [b] may
+         alias the same variable, and filtering a stale snapshot can
+         resurrect values pruned moments earlier, making the fixpoint
+         oscillate forever (e.g. v = x * v with 0 in both domains). *)
       let products = ref [] in
-      Domain.iter (fun x -> Domain.iter (fun y -> products := (x * y) :: !products) db) da;
-      set_dom doms changed v (Domain.inter dv (Domain.of_list !products));
-      let dv = doms.(v) in
-      let keep_a x = Domain.fold (fun acc y -> acc || Domain.mem (x * y) dv) false db in
-      set_dom doms changed a (Domain.filter keep_a da);
-      let da = doms.(a) in
-      let keep_b y = Domain.fold (fun acc x -> acc || Domain.mem (x * y) dv) false da in
-      set_dom doms changed b (Domain.filter keep_b db)
+      Domain.iter
+        (fun x -> Domain.iter (fun y -> products := (x * y) :: !products) doms.(b))
+        doms.(a);
+      set_dom doms changed v (Domain.inter doms.(v) (Domain.of_list !products));
+      let keep_a x =
+        Domain.fold (fun acc y -> acc || Domain.mem (x * y) doms.(v)) false doms.(b)
+      in
+      set_dom doms changed a (Domain.filter keep_a doms.(a));
+      let keep_b y =
+        Domain.fold (fun acc x -> acc || Domain.mem (x * y) doms.(v)) false doms.(a)
+      in
+      set_dom doms changed b (Domain.filter keep_b doms.(b))
   | _ ->
       revise_nary doms changed v vs ~identity:1 ~op:( * )
         ~inv_lo:(fun v_lo others_hi -> if others_hi = 0 then 0 else (v_lo + others_hi - 1) / others_hi)
@@ -122,16 +129,21 @@ let revise_sum ~exact_limit doms changed v vs =
       set_dom doms changed v d;
       set_dom doms changed x d
   | [| a; b |] when Domain.size doms.(a) * Domain.size doms.(b) <= exact_limit ->
-      let da = doms.(a) and db = doms.(b) and dv = doms.(v) in
+      (* Live reads throughout, for the same aliasing reason as in
+         [revise_prod]. *)
       let sums = ref [] in
-      Domain.iter (fun x -> Domain.iter (fun y -> sums := (x + y) :: !sums) db) da;
-      set_dom doms changed v (Domain.inter dv (Domain.of_list !sums));
-      let dv = doms.(v) in
-      let keep_a x = Domain.fold (fun acc y -> acc || Domain.mem (x + y) dv) false db in
-      set_dom doms changed a (Domain.filter keep_a da);
-      let da = doms.(a) in
-      let keep_b y = Domain.fold (fun acc x -> acc || Domain.mem (x + y) dv) false da in
-      set_dom doms changed b (Domain.filter keep_b db)
+      Domain.iter
+        (fun x -> Domain.iter (fun y -> sums := (x + y) :: !sums) doms.(b))
+        doms.(a);
+      set_dom doms changed v (Domain.inter doms.(v) (Domain.of_list !sums));
+      let keep_a x =
+        Domain.fold (fun acc y -> acc || Domain.mem (x + y) doms.(v)) false doms.(b)
+      in
+      set_dom doms changed a (Domain.filter keep_a doms.(a));
+      let keep_b y =
+        Domain.fold (fun acc x -> acc || Domain.mem (x + y) doms.(v)) false doms.(a)
+      in
+      set_dom doms changed b (Domain.filter keep_b doms.(b))
   | _ ->
       revise_nary doms changed v vs ~identity:0 ~op:( + )
         ~inv_lo:(fun v_lo others_hi -> v_lo - others_hi)

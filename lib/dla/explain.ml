@@ -1,11 +1,17 @@
 module Concrete = Heron_sched.Concrete
 
-let report (desc : Descriptor.t) prog =
+let report ?problem (desc : Descriptor.t) prog =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   (match Validate.check desc prog with
   | Ok () -> add "validity: ok"
   | Error v -> add "validity: INVALID — %s" (Violation.to_string v));
+  Option.iter
+    (fun p ->
+      match Validate.check_assignment p prog.Concrete.assignment with
+      | Ok () -> add "csp: ok"
+      | Error v -> add "csp: INVALID — %s" (Violation.to_string v))
+    problem;
   let b = Perf_model.analyze desc prog in
   add "decomposition: %d blocks x %d warps, %d resident/unit, %d wave%s" b.Perf_model.blocks
     b.Perf_model.warps b.Perf_model.blocks_per_unit b.Perf_model.waves

@@ -2,6 +2,9 @@
     time goes, how the grid maps onto the hardware, and which architectural
     limits bind. Used by the tuning CLI. *)
 
-val report : Descriptor.t -> Heron_sched.Concrete.t -> string
+val report : ?problem:Heron_csp.Problem.t -> Descriptor.t -> Heron_sched.Concrete.t -> string
 (** Multi-line report: validity, launch decomposition, scratchpad usage per
-    scope against its capacity, and the compute/memory/on-chip time split. *)
+    scope against its capacity, and the compute/memory/on-chip time split.
+    With [?problem], also reports whether the program's underlying
+    assignment satisfies the constrained space ("csp: ok" or the violated
+    constraint via {!Validate.check_assignment}). *)

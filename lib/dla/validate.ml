@@ -131,6 +131,11 @@ let check_cache_coverage prog =
   in
   match failure with Some v -> Error v | None -> Ok ()
 
+let check_assignment problem a =
+  match Heron_csp.Problem.check problem a with
+  | Ok () -> Ok ()
+  | Error c -> Error (Violation.Unsatisfied_constraint (Heron_csp.Cons.to_string c))
+
 let check desc prog =
   let* () = check_coverage prog in
   let* () = check_cache_coverage prog in

@@ -12,3 +12,11 @@ val check : Descriptor.t -> Heron_sched.Concrete.t -> (unit, Violation.t) result
     vector widths, thread limits, and family-specific loop-order rules. *)
 
 val is_valid : Descriptor.t -> Heron_sched.Concrete.t -> bool
+
+val check_assignment :
+  Heron_csp.Problem.t -> Heron_csp.Assignment.t -> (unit, Violation.t) result
+(** The CSP-side check, reported in the same violation vocabulary: the
+    first constraint (or declared domain) the assignment violates, as
+    {!Violation.Unsatisfied_constraint} carrying the constraint's rendered
+    form. This is the only producer of that constructor — hardware checks
+    above never see the CSP. *)

@@ -28,6 +28,18 @@ let split_n t n =
 
 let copy t = { state = t.state }
 
+let split_at t i =
+  if i < 0 then invalid_arg "Rng.split_at: negative index";
+  (* Random access into the split_n sequence: advance a copy of the parent
+     past the first [i] splits, then take the next one. The parent is not
+     advanced, so tasks can derive their own generator from (parent, index)
+     without materializing the whole array. *)
+  let c = copy t in
+  for _ = 1 to i do
+    ignore (bits64 c)
+  done;
+  split c
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the conversion to OCaml's 63-bit int stays positive. *)
@@ -60,6 +72,12 @@ let shuffle t a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
+
+let permutation t n =
+  if n < 0 then invalid_arg "Rng.permutation: negative size";
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
 
 let sample t xs k =
   let a = Array.of_list xs in

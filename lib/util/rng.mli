@@ -23,6 +23,12 @@ val split_n : t -> int -> t array
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val split_at : t -> int -> t
+(** [split_at t i] is [(split_n (copy t) (i + 1)).(i)] without materializing
+    the array and without advancing [t]: random access into the indexed
+    split sequence. The generator-friendly fan-out helper — a property test
+    or worker can derive stream [i] from the parent state alone. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
@@ -46,6 +52,9 @@ val choice_list : t -> 'a list -> 'a
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0 .. n-1]. *)
 
 val sample : t -> 'a list -> int -> 'a list
 (** [sample t xs k] draws [min k (length xs)] distinct elements. *)

@@ -255,7 +255,54 @@ let test_exact_vs_bounds_agree_on_unsat () =
   Alcotest.(check bool) "bounds unsat" true
     (Solver.solve ~exact_limit:0 (Rng.create 1) p = None)
 
-let qtest = QCheck_alcotest.to_alcotest
+(* Regression: the binary exact-support path of PROD/SUM used to filter
+   stale domain snapshots. With the target aliased to an operand (v = x * v)
+   the snapshot resurrected freshly pruned values and propagation oscillated
+   forever. Shrunk from the fuzzer's counterexample (seed 4242, case 613):
+   v0 in {0,2}, v1 in {0,2}, PROD(v0, [v1; v0]). *)
+let test_aliased_prod_terminates () =
+  let p =
+    Problem.of_parts
+      [ ("v0", dl [ 0; 2 ]); ("v1", dl [ 0; 2 ]) ]
+      [ Cons.Prod ("v0", [ "v1"; "v0" ]) ]
+  in
+  (match Solver.propagate_domains p with
+  | None -> Alcotest.fail "satisfiable (v0 = 0)"
+  | Some doms ->
+      Alcotest.(check (list int)) "v0 fixed to 0" [ 0 ]
+        (Domain.to_list (List.assoc "v0" doms)));
+  (match Solver.solve (Rng.create 1) p with
+  | Some a -> Alcotest.(check bool) "solution valid" true (Problem.check p a = Ok ())
+  | None -> Alcotest.fail "must find v0 = 0");
+  (* The original (pre-shrink) fuzzer counterexample, for good measure. *)
+  let full =
+    Problem.of_parts
+      [ ("v0", dl [ 0; 2; 23 ]); ("v1", dl [ 0; 2; 4; 5; 7; 12 ]) ]
+      [
+        Cons.Select ("v1", "v1", [ "v1"; "v1"; "v1" ]);
+        Cons.Eq ("v0", "v0");
+        Cons.Prod ("v0", [ "v1"; "v0" ]);
+        Cons.Prod ("v0", [ "v1" ]);
+      ]
+  in
+  Alcotest.(check int) "one solution" 1 (List.length (Solver.enumerate full))
+
+let test_aliased_sum_terminates () =
+  (* Same stale-snapshot shape through the SUM exact path: v = x + v. *)
+  let p =
+    Problem.of_parts
+      [ ("v0", dl [ 0; 2 ]); ("v1", dl [ 0; 2 ]) ]
+      [ Cons.Sum ("v0", [ "v1"; "v0" ]) ]
+  in
+  match Solver.propagate_domains p with
+  | None -> Alcotest.fail "satisfiable (v1 = 0)"
+  | Some _ ->
+      (* Propagation relaxes aliased occurrences, so it only needs to
+         terminate without wiping out; search settles the rest. *)
+      Alcotest.(check int) "two solutions" 2 (List.length (Solver.enumerate p))
+
+let qtest t =
+  Heron_check.Replay.to_alcotest ~seed:(Heron_check.Replay.seed_from_env ()) t
 
 let suite =
   [
@@ -280,4 +327,8 @@ let suite =
     qtest random_chain_agrees;
     Alcotest.test_case "bounds-only propagation sound" `Quick test_bounds_only_still_sound;
     Alcotest.test_case "exact/bounds agree on unsat" `Quick test_exact_vs_bounds_agree_on_unsat;
+    Alcotest.test_case "aliased PROD terminates (regression)" `Quick
+      test_aliased_prod_terminates;
+    Alcotest.test_case "aliased SUM terminates (regression)" `Quick
+      test_aliased_sum_terminates;
   ]

@@ -217,6 +217,173 @@ let test_explain_report () =
   Alcotest.(check bool) "shared usage" true (contains "scratchpad shared");
   Alcotest.(check bool) "latency line" true (contains "latency:")
 
+(* ---- exhaustive Violation.t constructor coverage ----
+
+   Hand-built Concrete.t programs (plain records, no template needed) let
+   each check be targeted precisely, so every constructor is produced at
+   least once with its exact payload. *)
+
+let mk_loop ?(ann = Concrete.Plain) ~origin ~kind name extent =
+  Concrete.{ name; extent; origin; kind; ann }
+
+let sp = Op.Spatial
+let rd = Op.Reduction
+
+let mk_prog ?intrin ?(assignment = []) op stages =
+  Concrete.{ op; stages; intrin; assignment = Assignment.of_list assignment }
+
+let compute_stage_of ?(scope = "local") loops =
+  Concrete.
+    { name = "C"; scope; loops; attach = None; role = Heron_sched.Template.Compute; align_pad = 0 }
+
+let gemm_loops ?(i = 16) ?(j = 16) ?(r = 16) ?(anni = Concrete.Plain) ?(annj = Concrete.Plain)
+    () =
+  [
+    mk_loop ~ann:anni ~origin:"i" ~kind:sp "i" i;
+    mk_loop ~ann:annj ~origin:"j" ~kind:sp "j" j;
+    mk_loop ~origin:"r" ~kind:rd "r" r;
+  ]
+
+let check_violation name desc prog expect =
+  match (Validate.check desc prog, expect) with
+  | Error got, want when got = want -> ()
+  | Error got, want ->
+      Alcotest.failf "%s: expected %s, got %s" name (Violation.to_string want)
+        (Violation.to_string got)
+  | Ok (), want -> Alcotest.failf "%s: expected %s, got Ok" name (Violation.to_string want)
+
+let test_violation_too_many_threads () =
+  let op = Op.gemm ~m:2048 ~n:16 ~k:16 () in
+  let prog =
+    mk_prog op
+      [ compute_stage_of (gemm_loops ~i:2048 ~anni:(Concrete.Bound Heron_sched.Prim.Thread_x) ()) ]
+  in
+  check_violation "threads" D.v100 prog (Violation.Too_many_threads 2048)
+
+let test_violation_bad_vector () =
+  let op = Op.gemm ~m:16 ~n:16 ~k:16 () in
+  let prog = mk_prog op [ compute_stage_of (gemm_loops ~annj:(Concrete.Vectorized 3) ()) ] in
+  check_violation "vector" D.v100 prog (Violation.Bad_vector_length 3)
+
+let test_violation_spm_overflow () =
+  (* A 128x128 f32 staging tile = 65536 bytes > the 49152-byte shared
+     scratchpad; it covers both iterators fully, so the capacity check is
+     the first one that can fire. *)
+  let op = Op.gemm ~dt:Op.F32 ~m:128 ~n:16 ~k:128 () in
+  let load =
+    Concrete.
+      {
+        name = "As";
+        scope = "shared";
+        loops = [ mk_loop ~origin:"i" ~kind:sp "i_s" 128; mk_loop ~origin:"r" ~kind:rd "r_s" 128 ];
+        attach = Some ("C", 0);
+        role = Heron_sched.Template.Load "A";
+        align_pad = 0;
+      }
+  in
+  let prog = mk_prog op [ compute_stage_of (gemm_loops ~i:128 ~r:128 ()); load ] in
+  check_violation "spm" D.v100 prog
+    (Violation.Spm_overflow { scope = "shared"; used = 65536; cap = 49152 })
+
+let test_violation_bad_intrinsic_shape () =
+  let op = Op.gemm ~m:16 ~n:16 ~k:16 () in
+  let prog =
+    mk_prog ~intrin:"wmma"
+      ~assignment:[ ("intrin_m", 3); ("intrin_n", 3); ("intrin_k", 3) ]
+      op
+      [ compute_stage_of (gemm_loops ()) ]
+  in
+  check_violation "intrinsic" D.v100 prog (Violation.Bad_intrinsic_shape (3, 3, 3))
+
+let test_violation_missing_tensorize () =
+  let op = Op.gemm ~dt:Op.I8 ~m:16 ~n:16 ~k:16 () in
+  let prog = mk_prog op [ compute_stage_of (gemm_loops ()) ] in
+  check_violation "tensorize" D.vta prog Violation.Missing_tensorize
+
+let vta_tiled_loops ~between =
+  (* k_outer (reduction), optionally [between], then the (1, 16, 16)
+     tensorized gemm tile. *)
+  [ mk_loop ~origin:"r" ~kind:rd "r_out" 4 ]
+  @ between
+  @ [
+      mk_loop ~ann:Concrete.Tensorized ~origin:"i" ~kind:sp "i_t" 16;
+      mk_loop ~ann:Concrete.Tensorized ~origin:"j" ~kind:sp "j_t" 16;
+      mk_loop ~ann:Concrete.Tensorized ~origin:"r" ~kind:rd "r_t" 16;
+    ]
+
+let vta_intrin_assignment = [ ("intrin_m", 1); ("intrin_n", 16); ("intrin_k", 16) ]
+
+let test_violation_bad_loop_order () =
+  let op = Op.gemm ~dt:Op.I8 ~m:16 ~n:16 ~k:64 () in
+  let prog =
+    mk_prog ~intrin:"vta.gemm" ~assignment:vta_intrin_assignment op
+      [ compute_stage_of (vta_tiled_loops ~between:[]) ]
+  in
+  (match Validate.check D.vta prog with
+  | Error (Violation.Bad_loop_order _) -> ()
+  | Error v -> Alcotest.failf "expected loop order, got %s" (Violation.to_string v)
+  | Ok () -> Alcotest.fail "reduction loop innermost above the tile must be rejected");
+  (* The repaired twin — a spatial loop of extent 2 slipped between — is
+     accepted, pinning down exactly which shape the rule rejects. *)
+  let op' = Op.gemm ~dt:Op.I8 ~m:16 ~n:32 ~k:64 () in
+  let good =
+    mk_prog ~intrin:"vta.gemm" ~assignment:vta_intrin_assignment op'
+      [
+        compute_stage_of
+          (vta_tiled_loops ~between:[ mk_loop ~origin:"j" ~kind:sp "j_out" 2 ]);
+      ]
+  in
+  match Validate.check D.vta good with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "repaired program must pass, got %s" (Violation.to_string v)
+
+let test_violation_coverage_exact () =
+  let op = Op.gemm ~m:16 ~n:16 ~k:16 () in
+  let prog = mk_prog op [ compute_stage_of (gemm_loops ~i:8 ()) ] in
+  match Validate.check D.v100 prog with
+  | Error (Violation.Coverage _) -> ()
+  | Error v -> Alcotest.failf "expected coverage, got %s" (Violation.to_string v)
+  | Ok () -> Alcotest.fail "half-covered iterator must be rejected"
+
+let test_violation_unsatisfied_constraint () =
+  let p =
+    Heron_csp.Problem.of_parts
+      [ ("x", Heron_csp.Domain.of_list [ 1; 2; 4 ]); ("y", Heron_csp.Domain.of_list [ 1; 2; 4 ]) ]
+      [ Heron_csp.Cons.Eq ("x", "y") ]
+  in
+  (match Validate.check_assignment p (Assignment.of_list [ ("x", 2); ("y", 2) ]) with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "satisfying assignment flagged: %s" (Violation.to_string v));
+  match Validate.check_assignment p (Assignment.of_list [ ("x", 1); ("y", 2) ]) with
+  | Error (Violation.Unsatisfied_constraint c) ->
+      Alcotest.(check string) "constraint round-trips"
+        (Heron_csp.Cons.to_string (Heron_csp.Cons.Eq ("x", "y")))
+        c
+  | Error v -> Alcotest.failf "expected unsatisfied constraint, got %s" (Violation.to_string v)
+  | Ok () -> Alcotest.fail "x <> y must be rejected"
+
+let contains ~needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_explain_csp_line () =
+  let gen, a = solve_gemm D.v100 in
+  let problem = gen.Heron.Generator.problem in
+  let ok_report = Heron_dla.Explain.report ~problem D.v100 (instantiate gen a) in
+  Alcotest.(check bool) "csp ok line" true (contains ~needle:"csp: ok" ok_report);
+  (* Corrupt one variable: the report must name the violated constraint
+     exactly as Problem.check renders it. *)
+  let bad = Assignment.set a "vec_a" 3 in
+  match Heron_csp.Problem.check problem bad with
+  | Ok () -> Alcotest.fail "out-of-domain value must violate the space"
+  | Error c ->
+      let bad_report = Heron_dla.Explain.report ~problem D.v100 (instantiate gen bad) in
+      Alcotest.(check bool) "csp invalid line" true
+        (contains ~needle:"csp: INVALID" bad_report);
+      Alcotest.(check bool) "violated constraint named" true
+        (contains ~needle:(Heron_csp.Cons.to_string c) bad_report)
+
 let suite =
   [
     Alcotest.test_case "wmma shape set" `Quick test_descriptor_shapes;
@@ -236,4 +403,14 @@ let suite =
     Alcotest.test_case "measurer rejects invalid" `Quick test_measure_rejects_invalid;
     Alcotest.test_case "hardware ordering" `Quick test_faster_hardware_is_faster;
     Alcotest.test_case "explain report" `Quick test_explain_report;
+    Alcotest.test_case "violation: too many threads" `Quick test_violation_too_many_threads;
+    Alcotest.test_case "violation: bad vector length" `Quick test_violation_bad_vector;
+    Alcotest.test_case "violation: spm overflow (exact)" `Quick test_violation_spm_overflow;
+    Alcotest.test_case "violation: bad intrinsic shape" `Quick test_violation_bad_intrinsic_shape;
+    Alcotest.test_case "violation: missing tensorize" `Quick test_violation_missing_tensorize;
+    Alcotest.test_case "violation: bad loop order" `Quick test_violation_bad_loop_order;
+    Alcotest.test_case "violation: coverage" `Quick test_violation_coverage_exact;
+    Alcotest.test_case "violation: unsatisfied constraint" `Quick
+      test_violation_unsatisfied_constraint;
+    Alcotest.test_case "explain csp line" `Quick test_explain_csp_line;
   ]

@@ -1,18 +1,67 @@
-(* Test driver: one alcotest binary aggregating every module's suite. *)
+(* Test driver: one alcotest binary aggregating every module's suite.
 
-let () =
-  Alcotest.run "heron"
-    [
-      ("util", Test_util.suite);
-      ("pool", Test_pool.suite);
-      ("tensor", Test_tensor.suite);
-      ("csp", Test_csp.suite);
-      ("sched", Test_sched.suite);
-      ("dla", Test_dla.suite);
-      ("costmodel", Test_cost.suite);
-      ("search", Test_search.suite);
-      ("core", Test_core.suite);
-      ("baselines", Test_baselines.suite);
-      ("extensions", Test_extensions.suite);
-      ("experiments", Test_experiments.suite);
-    ]
+   Environment knobs (so suites can be skipped or focused without editing
+   this file or learning alcotest's CLI):
+
+     HERON_TEST_ONLY=csp,check   run only the named suites
+     HERON_TEST_SKIP=check,dla   drop the named suites
+     ALCOTEST_QUICK=1            pass -q: skip `Slow cases (the heavyweight
+                                 property groups register as `Slow)
+     QCHECK_SEED=<n>             campaign seed for every property test
+     HERON_CHECK_BUDGET=<n>      cases per differential property
+
+   Alcotest's own flags and test-name filters still work and compose. *)
+
+let suites =
+  [
+    ("util", Test_util.suite);
+    ("pool", Test_pool.suite);
+    ("tensor", Test_tensor.suite);
+    ("csp", Test_csp.suite);
+    ("sched", Test_sched.suite);
+    ("dla", Test_dla.suite);
+    ("costmodel", Test_cost.suite);
+    ("search", Test_search.suite);
+    ("core", Test_core.suite);
+    ("baselines", Test_baselines.suite);
+    ("extensions", Test_extensions.suite);
+    ("experiments", Test_experiments.suite);
+    ("check", Test_check.suite);
+  ]
+
+let names_of env =
+  match Sys.getenv_opt env with
+  | None | Some "" -> None
+  | Some s ->
+      Some
+        (String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> ""))
+
+let enabled =
+  let keep =
+    match (names_of "HERON_TEST_ONLY", names_of "HERON_TEST_SKIP") with
+    | Some only, _ -> fun name -> List.mem name only
+    | None, Some skip -> fun name -> not (List.mem name skip)
+    | None, None -> fun _ -> true
+  in
+  let chosen = List.filter (fun (name, _) -> keep name) suites in
+  (match names_of "HERON_TEST_ONLY" with
+  | Some only ->
+      List.iter
+        (fun name ->
+          if not (List.mem_assoc name suites) then
+            Printf.eprintf "test_heron: HERON_TEST_ONLY names unknown suite %S\n%!" name)
+        only
+  | None -> ());
+  if chosen = [] then failwith "test_heron: suite selection left nothing to run";
+  chosen
+
+let truthy = function Some ("" | "0" | "false") | None -> false | Some _ -> true
+
+let argv =
+  (* ALCOTEST_QUICK drops `Slow cases exactly like passing -q by hand. *)
+  if truthy (Sys.getenv_opt "ALCOTEST_QUICK") then Array.append Sys.argv [| "-q" |]
+  else Sys.argv
+
+let () = Alcotest.run ~argv "heron" enabled

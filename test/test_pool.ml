@@ -94,6 +94,32 @@ let test_default_pool_resolution () =
               | Some p -> Alcotest.(check int) "explicit wins" 3 (Pool.jobs p)
               | None -> Alcotest.fail "explicit pool must resolve")))
 
+(* Property: under randomized task sets (random size, random failing
+   subset, random per-task delays to scramble completion order), the
+   re-raised exception is always the one from the lowest-indexed failing
+   element, and fault-free runs equal Array.map. Shared pool across cases:
+   spawning domains per case would dominate the test. *)
+let test_exception_ordering_randomized pool =
+  QCheck.Test.make ~name:"parallel_map raises the lowest-indexed failure" ~count:60
+    QCheck.(
+      pair (int_range 1 120)
+        (pair (list_of_size (Gen.int_range 0 8) (int_range 0 119)) small_int))
+    (fun (n, (failures, seed)) ->
+      let failing = List.sort_uniq compare (List.filter (fun i -> i < n) failures) in
+      let delay i =
+        (* Deterministic, index-dependent busy work so chunks finish out of
+           submission order. *)
+        let spin = (i * 7919 * (seed + 1)) mod 257 in
+        ignore (Sys.opaque_identity (Array.init spin (fun j -> j * j)))
+      in
+      let f i =
+        delay i;
+        if List.mem i failing then raise (Boom i) else i * 2
+      in
+      match Pool.parallel_map pool f (Array.init n (fun i -> i)) with
+      | out -> failing = [] && out = Array.init n (fun i -> i * 2)
+      | exception Boom i -> failing <> [] && i = List.hd failing)
+
 let test_map_list_order () =
   with_pool 4 (fun pool ->
       let xs = List.init 100 (fun i -> i) in
@@ -113,4 +139,9 @@ let suite =
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_and_inline_after;
     Alcotest.test_case "default pool resolution" `Quick test_default_pool_resolution;
     Alcotest.test_case "map_list order" `Quick test_map_list_order;
+    Alcotest.test_case "exception ordering (randomized)" `Quick (fun () ->
+        with_pool 4 (fun pool ->
+            Heron_check.Replay.run_test
+              ~seed:(Heron_check.Replay.seed_from_env ())
+              (test_exception_ordering_randomized pool)));
   ]

@@ -51,6 +51,56 @@ let test_shuffle_permutation =
       Rng.shuffle rng a;
       List.sort compare (Array.to_list a) = List.sort compare xs)
 
+(* split_n: the parallel-determinism workhorse. Stream i must be a pure
+   function of (parent state, i), streams must not collide, and the array
+   form must agree with sequential splitting and with random access. *)
+
+let stream_prefix rng k = List.init k (fun _ -> Rng.bits64 rng)
+
+let test_split_n_deterministic =
+  QCheck.Test.make ~name:"split_n is a pure function of (state, n)" ~count:200
+    QCheck.(pair small_int (int_range 0 16))
+    (fun (seed, n) ->
+      let a = Rng.split_n (Rng.create seed) n in
+      let b = Rng.split_n (Rng.create seed) n in
+      Array.for_all2 (fun x y -> stream_prefix x 4 = stream_prefix y 4) a b)
+
+let test_split_n_independent =
+  QCheck.Test.make ~name:"split_n streams are pairwise distinct" ~count:200
+    QCheck.(pair small_int (int_range 2 16))
+    (fun (seed, n) ->
+      let rngs = Rng.split_n (Rng.create seed) n in
+      let prefixes = Array.to_list (Array.map (fun r -> stream_prefix r 4) rngs) in
+      List.length (List.sort_uniq compare prefixes) = n)
+
+let test_split_n_matches_sequential =
+  QCheck.Test.make ~name:"split_n agrees with n sequential splits" ~count:200
+    QCheck.(pair small_int (int_range 0 16))
+    (fun (seed, n) ->
+      let arr = Rng.split_n (Rng.create seed) n in
+      let parent = Rng.create seed in
+      let seq = Array.init n (fun _ -> Rng.split parent) in
+      Array.for_all2 (fun x y -> stream_prefix x 4 = stream_prefix y 4) arr seq)
+
+let test_split_at_matches_split_n =
+  QCheck.Test.make ~name:"split_at i = split_n.(i), parent unadvanced" ~count:200
+    QCheck.(pair small_int (int_range 1 16))
+    (fun (seed, n) ->
+      let parent = Rng.create seed in
+      let before = stream_prefix (Rng.copy parent) 2 in
+      let by_index = Array.init n (fun i -> Rng.split_at parent i) in
+      let after = stream_prefix (Rng.copy parent) 2 in
+      let arr = Rng.split_n (Rng.copy parent) n in
+      before = after
+      && Array.for_all2 (fun x y -> stream_prefix x 4 = stream_prefix y 4) by_index arr)
+
+let test_permutation_prop =
+  QCheck.Test.make ~name:"permutation is a permutation of 0..n-1" ~count:200
+    QCheck.(pair small_int (int_range 0 32))
+    (fun (seed, n) ->
+      let p = Rng.permutation (Rng.create seed) n in
+      List.sort compare (Array.to_list p) = List.init n (fun i -> i))
+
 let test_sample_distinct () =
   let rng = Rng.create 3 in
   let xs = List.init 20 (fun i -> i) in
@@ -109,7 +159,10 @@ let test_hash_ranges () =
       Alcotest.(check bool) "signed in [-1,1)" true (sv >= -1.0 && sv < 1.0))
     [ ""; "x"; "heron"; "a-much-longer-key-with-digits-123456" ]
 
-let qtest = QCheck_alcotest.to_alcotest
+(* Replay.to_alcotest derives each property's generator state from one
+   campaign seed plus the property name and prints the replay commands on
+   failure; QCHECK_SEED overrides the seed. *)
+let qtest t = Heron_check.Replay.to_alcotest ~seed:(Heron_check.Replay.seed_from_env ()) t
 
 let suite =
   [
@@ -120,6 +173,11 @@ let suite =
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "rng copy" `Quick test_rng_copy;
     qtest test_shuffle_permutation;
+    qtest test_split_n_deterministic;
+    qtest test_split_n_independent;
+    qtest test_split_n_matches_sequential;
+    qtest test_split_at_matches_split_n;
+    qtest test_permutation_prop;
     Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
     Alcotest.test_case "divisors examples" `Quick test_divisors;
     qtest test_divisors_prop;
