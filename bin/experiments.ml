@@ -3,6 +3,7 @@
 
 open Cmdliner
 module E = Heron_experiments
+module Obs = Heron_obs.Obs
 
 let budget_arg default =
   Arg.(value & opt int default & info [ "trials"; "t" ] ~docv:"N"
@@ -38,6 +39,28 @@ let with_jobs jobs f =
       f
   end
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL event journal to $(docv) (see \
+           OBSERVABILITY.md). Tracing never changes results.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print solver/search/pool counter totals when done.")
+
+(* Wrap one experiment run in the journal (when --trace) and the metrics
+   dump (when --metrics). *)
+let with_obs ~seed ~budget ~jobs trace metrics f =
+  let m = Obs.manifest ~tool:"experiments" ~seed ?budget ~jobs () in
+  let r = Obs.with_trace trace m f in
+  if metrics then print_string (Obs.metrics_report ());
+  r
+
 let print s = print_string s
 
 let no_arg_cmd name doc f =
@@ -46,17 +69,24 @@ let no_arg_cmd name doc f =
 let budgeted_cmd name doc default f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun budget seed jobs -> with_jobs jobs (fun () -> print (f ~budget ~seed ())))
-      $ budget_arg default $ seed_arg $ jobs_arg)
+      const (fun budget seed jobs trace metrics ->
+          with_jobs jobs (fun () ->
+              with_obs ~seed ~budget:(Some budget) ~jobs trace metrics (fun () ->
+                  print (f ~budget ~seed ()))))
+      $ budget_arg default $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let fig11_cmd =
   Cmd.v (Cmd.info "fig11" ~doc:"Search-space quality heat maps (Heron vs AutoTVM).")
     Term.(
-      const (fun samples seed -> print (E.Exp_space.fig11 ~samples ~seed ()))
-      $ samples_arg $ seed_arg)
+      const (fun samples seed trace metrics ->
+          with_obs ~seed ~budget:None ~jobs:1 trace metrics (fun () ->
+              print (E.Exp_space.fig11 ~samples ~seed ())))
+      $ samples_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 let all_cmd =
-  let run budget seed jobs = with_jobs jobs @@ fun () ->
+  let run budget seed jobs trace metrics =
+    with_jobs jobs @@ fun () ->
+    with_obs ~seed ~budget:(Some budget) ~jobs trace metrics @@ fun () ->
     print (E.Exp_space.table4 ());
     print "\n";
     print (E.Exp_space.table5 ());
@@ -86,7 +116,7 @@ let all_cmd =
     print (E.Exp_time.fig14 ~budget:(min budget 120) ~seed ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (long).")
-    Term.(const run $ budget_arg 80 $ seed_arg $ jobs_arg)
+    Term.(const run $ budget_arg 80 $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let cmds =
   [

@@ -8,6 +8,7 @@
 open Cmdliner
 module Replay = Heron_check.Replay
 module Suite = Heron_check.Suite
+module Obs = Heron_obs.Obs
 
 let matches filter name =
   match filter with
@@ -29,7 +30,7 @@ let collect ~budget ~filter =
              else None)
            tests)
 
-let run budget seed filter list_only =
+let run budget seed filter list_only trace metrics =
   let tests = collect ~budget ~filter in
   if list_only then begin
     List.iter (fun (group, name, _) -> Printf.printf "%-8s %s\n" group name) tests;
@@ -37,11 +38,16 @@ let run budget seed filter list_only =
   end
   else begin
     Printf.printf "fuzz: %d properties, budget %d, seed %d\n%!" (List.length tests) budget seed;
+    let manifest = Obs.manifest ~tool:"fuzz" ~seed ~budget () in
+    Obs.with_trace trace manifest @@ fun () ->
+    Fun.protect ~finally:(fun () ->
+        if metrics then print_string (Obs.metrics_report ()))
+    @@ fun () ->
     let failures = ref 0 in
     List.iter
       (fun (group, name, t) ->
         let t0 = Unix.gettimeofday () in
-        match Replay.run_test ~seed t with
+        match Obs.with_span ("fuzz." ^ name) (fun () -> Replay.run_test ~seed t) with
         | () ->
             Printf.printf "PASS %-8s %s (%.1fs)\n%!" group name (Unix.gettimeofday () -. t0)
         | exception e ->
@@ -90,7 +96,21 @@ let () =
   let list_only =
     Arg.(value & flag & info [ "list"; "l" ] ~doc:"List matching properties and exit.")
   in
-  let term = Term.(const run $ budget $ seed $ filter $ list_only) in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured JSONL event journal (one span per property, \
+             solver counter totals) to $(docv). See OBSERVABILITY.md.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print solver/search/pool counter totals when done.")
+  in
+  let term = Term.(const run $ budget $ seed $ filter $ list_only $ trace $ metrics) in
   let info =
     Cmd.info "fuzz"
       ~doc:"Property-based fuzzing campaigns for the Heron CSP solver, DLA layer and search."

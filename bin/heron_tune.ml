@@ -5,6 +5,7 @@ open Cmdliner
 module Op = Heron_tensor.Op
 module D = Heron_dla.Descriptor
 module Pool = Heron_util.Pool
+module Obs = Heron_obs.Obs
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
@@ -49,7 +50,7 @@ let op_of ~kind ~dims ~dt =
         "usage: gemm M N K | bmm B M N K | gemv M K | c1d N CI L CO KL S P | \
          c2d N CI H W CO KH KW S P | scan B L"
 
-let run dla kind dims dt trials seed jobs =
+let run dla kind dims dt trials seed jobs trace metrics =
   match desc_of_string dla with
   | Error e -> prerr_endline e; 2
   | Ok desc -> (
@@ -58,9 +59,16 @@ let run dla kind dims dt trials seed jobs =
       | Ok op ->
           Printf.printf "tuning %s on %s (%d trials, seed %d, %d jobs)\n%!"
             (Op.to_string op) desc.D.dname trials seed (max 1 jobs);
-          let tuned =
-            with_jobs jobs (fun pool -> Heron.Pipeline.tune ~budget:trials ~seed ?pool desc op)
+          let manifest =
+            Obs.manifest ~tool:"heron_tune" ~seed ~descriptor:desc.D.dname
+              ~op:(Op.to_string op) ~budget:trials ~jobs:(max 1 jobs) ()
           in
+          let tuned =
+            Obs.with_trace trace manifest (fun () ->
+                with_jobs jobs (fun pool ->
+                    Heron.Pipeline.tune ~budget:trials ~seed ?pool desc op))
+          in
+          if metrics then print_string (Obs.metrics_report ());
           Printf.printf "space: %s\n"
             (Heron.Stats.to_string (Heron.Stats.of_problem tuned.gen.problem));
           let o = tuned.Heron.Pipeline.outcome in
@@ -100,6 +108,25 @@ let () =
              and cost-model training (default: recommended domain count - \
              1). Results are identical for any value.")
   in
-  let term = Term.(const run $ dla $ kind $ dims $ dt $ trials $ seed $ jobs) in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured JSONL event journal (manifest, spans, \
+             eval/generation events, counter totals) to $(docv). See \
+             OBSERVABILITY.md for the schema. Tracing never changes \
+             results.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print solver/search/pool counter totals after tuning.")
+  in
+  let term =
+    Term.(const run $ dla $ kind $ dims $ dt $ trials $ seed $ jobs $ trace $ metrics)
+  in
   let info = Cmd.info "heron_tune" ~doc:"Tune one operator with Heron on a simulated DLA." in
   exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,31 @@
+(* Validate observability journals against the versioned schema: JSON
+   well-formedness, required fields per event type, monotone timestamps,
+   manifest-first, and per-domain span nesting. Exit 0 iff every file is
+   valid. The @trace-quick alias runs this on a freshly traced tuning run,
+   so `dune runtest` always exercises --trace end to end. *)
+
+module Trace = Heron_obs.Trace
+
+let lint path =
+  match Trace.read_file path with
+  | Error msg ->
+      Printf.printf "FAIL %s: %s\n" path msg;
+      false
+  | Ok events -> (
+      match Trace.schema_errors events @ Trace.nesting_errors events with
+      | [] ->
+          Printf.printf "OK   %s: %s\n" path (Trace.summary events);
+          true
+      | errors ->
+          Printf.printf "FAIL %s:\n" path;
+          List.iter (fun e -> Printf.printf "     %s\n" e) errors;
+          false)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: trace_lint FILE.jsonl ...";
+    exit 2
+  end;
+  let ok = List.fold_left (fun acc f -> lint f && acc) true files in
+  exit (if ok then 0 else 1)

@@ -1,5 +1,20 @@
 module Problem = Heron_csp.Problem
 module Assignment = Heron_csp.Assignment
+module Obs = Heron_obs.Obs
+
+let c_fit_calls = Obs.Counter.make "costmodel.fit_calls"
+let c_fit_ns = Obs.Counter.make "costmodel.fit_ns"
+let c_predict_calls = Obs.Counter.make "costmodel.predict_calls"
+let c_predict_ns = Obs.Counter.make "costmodel.predict_ns"
+
+(* Wall-clock a cold-path call into a calls/ns counter pair (these run once
+   per CGA generation, so the two clock reads are negligible). *)
+let timed_count c_calls c_ns f =
+  let t0 = Obs.Clock.now_ns () in
+  let x = f () in
+  Obs.Counter.incr c_calls;
+  Obs.Counter.add c_ns (Obs.Clock.now_ns () - t0);
+  x
 
 type t = {
   features : Features.t;
@@ -29,12 +44,14 @@ let record t a score =
   end
 
 let refit ?pool t =
-  if t.count >= 8 then begin
-    let xs = Array.of_list (List.map fst t.data) in
-    let ys = Array.of_list (List.map snd t.data) in
-    t.ensemble <-
-      Some (Gbt.fit ~params:t.gbt_params ?pool ~n_bins:(Features.n_bins t.features) xs ys)
-  end
+  if t.count >= 8 then
+    timed_count c_fit_calls c_fit_ns (fun () ->
+        Obs.with_span "costmodel.fit" (fun () ->
+            let xs = Array.of_list (List.map fst t.data) in
+            let ys = Array.of_list (List.map snd t.data) in
+            t.ensemble <-
+              Some
+                (Gbt.fit ~params:t.gbt_params ?pool ~n_bins:(Features.n_bins t.features) xs ys)))
 
 let trained t = t.ensemble <> None
 
@@ -49,9 +66,10 @@ let predict_batch ?pool t assignments =
   | Some g ->
       (* Binning and ensemble evaluation are pure per-assignment reads, so
          the whole scoring pass fans out; order is preserved. *)
-      Heron_util.Pool.map_list ?pool
-        (fun a -> Gbt.predict g (Features.binned t.features a))
-        assignments
+      timed_count c_predict_calls c_predict_ns (fun () ->
+          Heron_util.Pool.map_list ?pool
+            (fun a -> Gbt.predict g (Features.binned t.features a))
+            assignments)
 
 let importance t =
   match t.ensemble with

@@ -1,4 +1,18 @@
 module Rng = Heron_util.Rng
+module Obs = Heron_obs.Obs
+
+(* Global observability counters, alongside the per-search [stats] record:
+   [stats] feeds experiment tables, counters feed --metrics/--trace.
+   Atomic increments only — totals are deterministic for any pool size
+   because the work itself is (per-task split generators). *)
+let c_revise = Obs.Counter.make "solver.revise"
+let c_propagate = Obs.Counter.make "solver.propagate_rounds"
+let c_wipeouts = Obs.Counter.make "solver.wipeouts"
+let c_nodes = Obs.Counter.make "solver.nodes"
+let c_fails = Obs.Counter.make "solver.fails"
+let c_restarts = Obs.Counter.make "solver.restarts"
+let c_solve = Obs.Counter.make "solver.solve_calls"
+let c_draws = Obs.Counter.make "solver.rand_sat_draws"
 
 type stats = { mutable nodes : int; mutable fails : int; mutable restarts : int }
 
@@ -200,14 +214,18 @@ let propagate compiled doms seed =
   List.iter push seed;
   try
     while not (Queue.is_empty queue) do
+      Obs.Counter.incr c_revise;
       let ci = Queue.pop queue in
       in_queue.(ci) <- false;
       let changed = ref [] in
       revise ~exact_limit:compiled.exact_limit doms changed compiled.ics.(ci);
       List.iter (fun vid -> List.iter push compiled.watchers.(vid)) !changed
     done;
+    Obs.Counter.incr c_propagate;
     true
-  with Wipeout -> false
+  with Wipeout ->
+    Obs.Counter.incr c_wipeouts;
+    false
 
 let all_cons compiled = List.init (Array.length compiled.ics) (fun i -> i)
 
@@ -246,6 +264,7 @@ let search ?(max_fails = 4000) ~stats rng compiled doms0 =
   in
   let rec dfs doms =
     stats.nodes <- stats.nodes + 1;
+    Obs.Counter.incr c_nodes;
     match pick_var doms with
     | None -> Some (extract compiled doms)
     | Some vid ->
@@ -262,6 +281,7 @@ let search ?(max_fails = 4000) ~stats rng compiled doms0 =
             | Some _ as r -> r
             | None ->
                 stats.fails <- stats.fails + 1;
+                Obs.Counter.incr c_fails;
                 incr fails;
                 if !fails > max_fails then raise Give_up;
                 try_values (i + 1)
@@ -272,6 +292,7 @@ let search ?(max_fails = 4000) ~stats rng compiled doms0 =
   try dfs doms0 with Give_up -> None
 
 let solve ?(max_fails = 4000) ?(max_restarts = 8) ?exact_limit ?stats rng problem =
+  Obs.Counter.incr c_solve;
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let compiled = compile ?exact_limit problem in
   let root = Array.copy compiled.init_domains in
@@ -280,7 +301,10 @@ let solve ?(max_fails = 4000) ?(max_restarts = 8) ?exact_limit ?stats rng proble
     let rec attempt k =
       if k > max_restarts then None
       else begin
-        if k > 0 then stats.restarts <- stats.restarts + 1;
+        if k > 0 then begin
+          stats.restarts <- stats.restarts + 1;
+          Obs.Counter.incr c_restarts
+        end;
         match search ~max_fails ~stats rng compiled (Array.copy root) with
         | Some a -> Some a
         | None -> attempt (k + 1)
@@ -299,6 +323,7 @@ let rand_sat ?(max_fails = 4000) ?exact_limit ?pool rng problem n =
   else begin
     let rngs = Rng.split_n rng n in
     let draw task_rng =
+      Obs.Counter.incr c_draws;
       let stats = fresh_stats () in
       let rec go attempt =
         if attempt >= 3 then None
@@ -386,6 +411,7 @@ let search_biased ?(max_fails = 4000) ~stats rng compiled doms0 bias =
   in
   let rec dfs doms =
     stats.nodes <- stats.nodes + 1;
+    Obs.Counter.incr c_nodes;
     match pick_var doms with
     | None -> Some (extract compiled doms)
     | Some vid ->
@@ -408,6 +434,7 @@ let search_biased ?(max_fails = 4000) ~stats rng compiled doms0 bias =
             | Some _ as r -> r
             | None ->
                 stats.fails <- stats.fails + 1;
+                Obs.Counter.incr c_fails;
                 incr fails;
                 if !fails > max_fails then raise Give_up;
                 try_values (i + 1)

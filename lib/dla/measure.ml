@@ -1,5 +1,9 @@
 module Concrete = Heron_sched.Concrete
 module Hashing = Heron_util.Hashing
+module Obs = Heron_obs.Obs
+
+let c_runs = Obs.Counter.make "measure.runs"
+let c_invalid = Obs.Counter.make "measure.invalid"
 
 type t = { desc : Descriptor.t; reps : int; count : int Atomic.t }
 
@@ -9,8 +13,11 @@ let count t = Atomic.get t.count
 
 let run t prog =
   Atomic.incr t.count;
+  Obs.Counter.incr c_runs;
   match Validate.check t.desc prog with
-  | Error v -> Error v
+  | Error v ->
+      Obs.Counter.incr c_invalid;
+      Error v
   | Ok () ->
       let base = Perf_model.latency_us t.desc prog in
       let key = Heron_csp.Assignment.key prog.Concrete.assignment in

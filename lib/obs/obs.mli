@@ -1,0 +1,98 @@
+(** Structured run observability: named atomic counters/gauges, spans on a
+    monotonic clock, and a process-global JSONL event journal with a
+    versioned schema plus a run manifest.
+
+    Instrumentation never touches RNG state or control flow, so traced and
+    untraced runs of the same seed produce byte-identical results; with no
+    journal installed every entry point is one atomic load (counters stay
+    live so [--metrics] works without a trace). See OBSERVABILITY.md for
+    the event schema. *)
+
+val schema_version : int
+(** Version stamped on every journal line ([1]). Bump on any breaking
+    change to event shapes. *)
+
+module Clock : sig
+  val now_ns : unit -> int
+  (** Wall clock in nanoseconds, monotonised with an atomic running max:
+      never decreases, process-wide. *)
+end
+
+(** Named monotone counters. [make] is idempotent by name — modules create
+    their counters at load time and increments are wait-free atomics, safe
+    under {!Heron_util.Pool} parallelism. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+
+  val snapshot : unit -> (string * int) list
+  (** All counters, sorted by name. *)
+end
+
+(** Named last-write-wins float gauges. *)
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val set : t -> float -> unit
+  val value : t -> float
+  val snapshot : unit -> (string * float) list
+end
+
+type manifest = {
+  tool : string;
+  seed : int option;
+  descriptor : string option;
+  op : string option;
+  budget : int option;
+  jobs : int option;
+  git_rev : string;
+  argv : string list;
+}
+
+val manifest :
+  tool:string ->
+  ?seed:int ->
+  ?descriptor:string ->
+  ?op:string ->
+  ?budget:int ->
+  ?jobs:int ->
+  unit ->
+  manifest
+(** Build a manifest, detecting [git_rev] (HERON_GIT_REV, else .git/HEAD
+    walking up from the cwd, else ["unknown"]) and capturing [Sys.argv]. *)
+
+val start : path:string -> manifest -> unit
+(** Open the journal at [path] and write the manifest line. Records a
+    baseline of all counters so the journal's counter events report deltas
+    for this run only. Raises [Invalid_argument] if a trace is active. *)
+
+val stop : unit -> unit
+(** Flush counter/gauge snapshots and the [trace_end] line, close the
+    journal. No-op when no trace is active. *)
+
+val with_trace : string option -> manifest -> (unit -> 'a) -> 'a
+(** [with_trace (Some path) m f] runs [f] inside [start]/[stop] (stop also
+    on exception); [with_trace None m f] is just [f ()]. *)
+
+val enabled : unit -> bool
+(** Whether a journal sink is currently installed. *)
+
+val emit : string -> (string * Json.t) list -> unit
+(** [emit ev fields] appends one event line (adding [v]/[t_ns]/[ev]).
+    Serialized under the sink mutex; timestamps are taken under the lock so
+    [t_ns] is non-decreasing in file order. No-op when disabled. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] wraps [f] in [span_begin]/[span_end] events carrying
+    a unique id, the per-domain parent span, the domain id and the
+    duration. When disabled, exactly [f ()]. *)
+
+val metrics_report : unit -> string
+(** Human-readable table of all non-zero counters and gauges. *)

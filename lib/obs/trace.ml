@@ -1,0 +1,176 @@
+(* Journal reading and validation: the schema contract of OBSERVABILITY.md
+   in executable form. Used by bin/trace_lint, the @trace-quick alias and
+   test/test_obs.ml. *)
+
+type event = { t_ns : int; ev : string; json : Json.t }
+
+let field name e = Json.member name e.json
+let int_field name e = Option.bind (field name e) Json.to_int_opt
+let string_field name e = Option.bind (field name e) Json.to_string_opt
+
+let parse_line line =
+  match Json.parse line with
+  | Error msg -> Error ("bad JSON: " ^ msg)
+  | Ok json -> (
+      match
+        ( Option.bind (Json.member "v" json) Json.to_int_opt,
+          Option.bind (Json.member "t_ns" json) Json.to_int_opt,
+          Option.bind (Json.member "ev" json) Json.to_string_opt )
+      with
+      | Some v, Some t_ns, Some ev ->
+          if v <> Obs.schema_version then
+            Error (Printf.sprintf "schema version %d, expected %d" v Obs.schema_version)
+          else if t_ns < 0 then Error "negative t_ns"
+          else Ok { t_ns; ev; json }
+      | _ -> Error "missing v/t_ns/ev header fields")
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line -> (
+            match parse_line line with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+      in
+      let r = go 1 [] in
+      close_in_noerr ic;
+      r
+
+(* Required fields per event type. A field predicate returns true when the
+   value has the right shape; extra fields are always allowed (forward
+   compatibility). *)
+let is_int = fun j -> Json.to_int_opt j <> None
+let is_string = fun j -> Json.to_string_opt j <> None
+let is_number = fun j -> Json.to_float_opt j <> None
+let is_opt_number = function Json.Null -> true | j -> is_number j
+let is_opt_int = function Json.Null -> true | j -> is_int j
+
+let required_fields = function
+  | "manifest" -> Some [ ("schema", is_int); ("tool", is_string); ("git_rev", is_string) ]
+  | "span_begin" ->
+      Some [ ("span", is_string); ("id", is_int); ("parent", is_opt_int); ("domain", is_int) ]
+  | "span_end" ->
+      Some [ ("span", is_string); ("id", is_int); ("domain", is_int); ("dur_ns", is_int) ]
+  | "counter" -> Some [ ("name", is_string); ("value", is_int) ]
+  | "gauge" -> Some [ ("name", is_string); ("value", is_number) ]
+  | "eval" ->
+      Some [ ("step", is_int); ("latency", is_opt_number); ("best", is_opt_number) ]
+  | "generation" ->
+      Some
+        [
+          ("iter", is_int);
+          ("gen", is_int);
+          ("pop", is_int);
+          ("offspring_attempted", is_int);
+          ("offspring_accepted", is_int);
+        ]
+  | "trace_end" -> Some [ ("events", is_int) ]
+  | _ -> None
+
+let schema_errors events =
+  let errors = ref [] in
+  let err i fmt = Printf.ksprintf (fun m -> errors := Printf.sprintf "event %d: %s" i m :: !errors) fmt in
+  (match events with
+  | [] -> errors := [ "empty journal" ]
+  | first :: _ ->
+      if first.ev <> "manifest" then err 0 "first event is %S, expected manifest" first.ev);
+  let last_t = ref 0 in
+  List.iteri
+    (fun i e ->
+      if e.t_ns < !last_t then err i "t_ns %d decreases (previous %d)" e.t_ns !last_t;
+      last_t := e.t_ns;
+      if i > 0 && e.ev = "manifest" then err i "duplicate manifest";
+      match required_fields e.ev with
+      | None -> err i "unknown event type %S" e.ev
+      | Some reqs ->
+          List.iter
+            (fun (name, check) ->
+              match field name e with
+              | None -> err i "%s: missing field %S" e.ev name
+              | Some j -> if not (check j) then err i "%s: field %S has wrong type" e.ev name)
+            reqs)
+    events;
+  List.rev !errors
+
+(* Span stack discipline, independently per domain: every span_end matches
+   the innermost open span of its domain, and nothing is left open. *)
+let nesting_errors events =
+  let stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks dom s;
+        s
+  in
+  let errors = ref [] in
+  List.iteri
+    (fun i e ->
+      match e.ev with
+      | "span_begin" -> (
+          match (int_field "id" e, int_field "domain" e) with
+          | Some id, Some dom ->
+              let s = stack dom in
+              s := id :: !s
+          | _ -> errors := Printf.sprintf "event %d: span_begin without id/domain" i :: !errors)
+      | "span_end" -> (
+          match (int_field "id" e, int_field "domain" e) with
+          | Some id, Some dom -> (
+              let s = stack dom in
+              match !s with
+              | top :: rest when top = id -> s := rest
+              | top :: _ ->
+                  errors :=
+                    Printf.sprintf "event %d: span_end id %d but innermost open span is %d" i id
+                      top
+                    :: !errors
+              | [] ->
+                  errors := Printf.sprintf "event %d: span_end id %d with no open span" i id :: !errors)
+          | _ -> errors := Printf.sprintf "event %d: span_end without id/domain" i :: !errors)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun dom s ->
+      List.iter
+        (fun id -> errors := Printf.sprintf "domain %d: span %d never closed" dom id :: !errors)
+        !s)
+    stacks;
+  List.rev !errors
+
+let counters events =
+  List.filter_map
+    (fun e ->
+      if e.ev <> "counter" then None
+      else
+        match (string_field "name" e, int_field "value" e) with
+        | Some name, Some v -> Some (name, v)
+        | _ -> None)
+    events
+
+let counter events name = List.assoc_opt name (counters events)
+
+let evals events =
+  List.filter_map
+    (fun e ->
+      if e.ev <> "eval" then None
+      else
+        match int_field "step" e with
+        | None -> None
+        | Some step ->
+            let num k = Option.bind (field k e) Json.to_float_opt in
+            Some (step, num "latency", num "best"))
+    events
+
+let summary events =
+  let count p = List.length (List.filter p events) in
+  Printf.sprintf "%d events: %d spans, %d evals, %d generations, %d counters"
+    (List.length events)
+    (count (fun e -> e.ev = "span_begin"))
+    (count (fun e -> e.ev = "eval"))
+    (count (fun e -> e.ev = "generation"))
+    (count (fun e -> e.ev = "counter"))

@@ -1,0 +1,36 @@
+(** Journal reading and validation — the OBSERVABILITY.md schema contract
+    in executable form, shared by [bin/trace_lint], the [@trace-quick]
+    alias and [test/test_obs.ml]. *)
+
+type event = { t_ns : int; ev : string; json : Json.t }
+
+val parse_line : string -> (event, string) result
+(** Parse one journal line and check the [v]/[t_ns]/[ev] header. *)
+
+val read_file : string -> (event list, string) result
+(** Read a whole journal; fails on the first malformed line. *)
+
+val schema_errors : event list -> string list
+(** Schema validation: manifest first, monotone [t_ns], known event types,
+    required fields present with the right shapes. Empty = valid. Extra
+    fields are allowed (forward compatibility). *)
+
+val nesting_errors : event list -> string list
+(** Span stack discipline per domain: every [span_end] closes the innermost
+    open span of its domain and no span is left open. Empty = valid. *)
+
+val counters : event list -> (string * int) list
+(** Counter events in journal order (values are per-run deltas). *)
+
+val counter : event list -> string -> int option
+(** Lookup one counter by name. *)
+
+val evals : event list -> (int * float option * float option) list
+(** Eval trajectory: (step, latency, best-so-far) in journal order. *)
+
+val summary : event list -> string
+(** One-line human summary of a journal. *)
+
+val field : string -> event -> Json.t option
+val int_field : string -> event -> int option
+val string_field : string -> event -> string option

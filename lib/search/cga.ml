@@ -5,6 +5,13 @@ module Solver = Heron_csp.Solver
 module Model = Heron_cost.Model
 module Rng = Heron_util.Rng
 module Pool = Heron_util.Pool
+module Obs = Heron_obs.Obs
+module Json = Heron_obs.Json
+
+let c_iterations = Obs.Counter.make "cga.iterations"
+let c_generations = Obs.Counter.make "cga.generations"
+let c_offspring_attempted = Obs.Counter.make "cga.offspring_attempted"
+let c_offspring_accepted = Obs.Counter.make "cga.offspring_accepted"
 
 type key_selection = By_model | Random_keys
 
@@ -108,12 +115,14 @@ let run ?(params = default_params) ?pool env ~budget =
   let rec_ = Env.Recorder.create env ~budget in
   let model = Model.create env.Env.problem in
   let time_search = ref 0.0 and time_model = ref 0.0 and time_measure = ref 0.0 in
-  let timed acc f =
-    let t0 = Sys.time () in
-    let x = f () in
-    acc := !acc +. (Sys.time () -. t0);
-    x
+  let timed acc name f =
+    Obs.with_span name (fun () ->
+        let t0 = Sys.time () in
+        let x = f () in
+        acc := !acc +. (Sys.time () -. t0);
+        x)
   in
+  let iter_no = ref 0 in
   let survivors = ref [] in
   (* Iterate until the measurement budget is exhausted (Algorithm 2). A few
      consecutive iterations without any fresh candidate mean the space is
@@ -121,9 +130,11 @@ let run ?(params = default_params) ?pool env ~budget =
   let continue = ref true in
   let dry_iterations = ref 0 in
   while !continue && not (Env.Recorder.exhausted rec_) do
+    incr iter_no;
+    Obs.Counter.incr c_iterations;
     (* Step 1: first generation = random valid assignments + survivors. *)
     let pop0 =
-      timed time_search (fun () ->
+      timed time_search "cga.seed_population" (fun () ->
           let need = max 2 (params.pop_size - List.length !survivors) in
           Solver.rand_sat ?pool env.Env.rng env.Env.problem need
           @ List.map fst !survivors)
@@ -140,8 +151,9 @@ let run ?(params = default_params) ?pool env ~budget =
       in
       (* Step 2: evolve on CSPs for several generations. *)
       let pop = ref (dedupe pop0) in
-      timed time_search (fun () ->
-          for _g = 1 to params.generations do
+      timed time_search "cga.evolve" (fun () ->
+          for g = 1 to params.generations do
+            Obs.Counter.incr c_generations;
             let scored = Array.of_list (predict_all !pop) in
             let chosen = roulette env.Env.rng scored params.pop_size in
             (* Elitism: every current survivor stays in the crossover pool. *)
@@ -164,6 +176,17 @@ let run ?(params = default_params) ?pool env ~budget =
               Solver.solve_all ~max_fails:400 ~max_restarts:0 ?pool env.Env.rng csps
               |> List.filter_map Fun.id
             in
+            Obs.Counter.add c_offspring_attempted (List.length csps);
+            Obs.Counter.add c_offspring_accepted (List.length children);
+            if Obs.enabled () then
+              Obs.emit "generation"
+                [
+                  ("iter", Json.Int !iter_no);
+                  ("gen", Json.Int g);
+                  ("pop", Json.Int (List.length !pop));
+                  ("offspring_attempted", Json.Int (List.length csps));
+                  ("offspring_accepted", Json.Int (List.length children));
+                ];
             pop := dedupe (children @ !pop)
           done);
       (* Step 3: epsilon-greedy selection of the measurement batch. *)
@@ -193,11 +216,12 @@ let run ?(params = default_params) ?pool env ~budget =
         (* The whole batch is measured in parallel; bookkeeping stays in
            submission order inside [eval_batch]. *)
         let latencies =
-          timed time_measure (fun () -> Env.Recorder.eval_batch ?pool rec_ chosen)
+          timed time_measure "cga.measure" (fun () ->
+              Env.Recorder.eval_batch ?pool rec_ chosen)
         in
         let measured = List.combine chosen latencies in
         (* Step 4: update the cost model on the measured scores. *)
-        timed time_model (fun () ->
+        timed time_model "cga.model" (fun () ->
             List.iter (fun (a, l) -> Model.record model a (Env.score l)) measured;
             Model.refit ?pool model);
         let valid =

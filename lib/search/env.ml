@@ -1,5 +1,7 @@
 module Problem = Heron_csp.Problem
 module Assignment = Heron_csp.Assignment
+module Obs = Heron_obs.Obs
+module Json = Heron_obs.Json
 
 type t = {
   problem : Problem.t;
@@ -21,10 +23,19 @@ let score_of_latency l = 1000.0 /. l
 let score = function None -> 0.0 | Some l -> score_of_latency l
 
 module Recorder = struct
+  let c_evals = Obs.Counter.make "env.evals"
+  let c_cache_hits = Obs.Counter.make "env.cache_hits"
+  let c_steps = Obs.Counter.make "env.measure_steps"
+  let c_invalid = Obs.Counter.make "env.invalid"
+  let c_skips = Obs.Counter.make "env.budget_skips"
+  let c_evictions = Obs.Counter.make "env.cache_evictions"
+
   type r = {
     env : t;
     budget : int;
     cache : (string, float option) Hashtbl.t;
+    cache_cap : int;
+    cache_order : string Queue.t;  (* insertion order, for FIFO eviction *)
     mutable steps : int;
     mutable evals : int;  (* total eval calls, cached replays included *)
     mutable best : float option;
@@ -33,11 +44,15 @@ module Recorder = struct
     mutable invalid : int;
   }
 
-  let create env ~budget =
+  let default_cache_cap = 65_536
+
+  let create ?(cache_cap = default_cache_cap) env ~budget =
     {
       env;
       budget;
       cache = Hashtbl.create 256;
+      cache_cap = max 1 cache_cap;
+      cache_order = Queue.create ();
       steps = 0;
       evals = 0;
       best = None;
@@ -45,6 +60,46 @@ module Recorder = struct
       trace_rev = [];
       invalid = 0;
     }
+
+  let cache_size r = Hashtbl.length r.cache
+
+  (* Insert a fresh measurement, evicting oldest entries beyond the cap.
+     Evicted configurations cost a fresh step if revisited, so the default
+     cap is far above any realistic campaign's distinct-config count. *)
+  let cache_insert r key l =
+    while Hashtbl.length r.cache >= r.cache_cap do
+      let oldest = Queue.pop r.cache_order in
+      Hashtbl.remove r.cache oldest;
+      Obs.Counter.incr c_evictions
+    done;
+    Hashtbl.replace r.cache key l;
+    Queue.push key r.cache_order
+
+  (* Shared commit path of [eval] and [eval_batch]: bookkeeping for one
+     fresh measurement, in submission order. *)
+  let commit_fresh r a key l =
+    cache_insert r key l;
+    r.steps <- r.steps + 1;
+    Obs.Counter.incr c_steps;
+    (match l with
+    | None ->
+        r.invalid <- r.invalid + 1;
+        Obs.Counter.incr c_invalid
+    | Some lat ->
+        let better = match r.best with None -> true | Some b -> lat < b in
+        if better then begin
+          r.best <- Some lat;
+          r.best_a <- Some a
+        end);
+    r.trace_rev <- { step = r.steps; latency = l; best = r.best } :: r.trace_rev;
+    if Obs.enabled () then
+      Obs.emit "eval"
+        [
+          ("step", Json.Int r.steps);
+          ("latency", match l with None -> Json.Null | Some x -> Json.Float x);
+          ("best", match r.best with None -> Json.Null | Some x -> Json.Float x);
+        ];
+    l
 
   (* The secondary cap bounds searchers whose populations converge onto
      already-measured configurations (replays are free in budget terms but
@@ -56,32 +111,26 @@ module Recorder = struct
 
   let eval r a =
     r.evals <- r.evals + 1;
+    Obs.Counter.incr c_evals;
     let key = Assignment.key a in
     match Hashtbl.find_opt r.cache key with
-    | Some l -> l
+    | Some l ->
+        Obs.Counter.incr c_cache_hits;
+        l
     | None ->
-        if exhausted r then None
-        else begin
-          let l = r.env.measure a in
-          Hashtbl.replace r.cache key l;
-          r.steps <- r.steps + 1;
-          (match l with
-          | None -> r.invalid <- r.invalid + 1
-          | Some lat ->
-              let better = match r.best with None -> true | Some b -> lat < b in
-              if better then begin
-                r.best <- Some lat;
-                r.best_a <- Some a
-              end);
-          r.trace_rev <- { step = r.steps; latency = l; best = r.best } :: r.trace_rev;
-          l
+        if exhausted r then begin
+          Obs.Counter.incr c_skips;
+          None
         end
+        else commit_fresh r a key (r.env.measure a)
 
   (* What [eval] would do with one batch element, decided up front so the
      expensive [measure] calls can run in parallel while every piece of
      mutable bookkeeping stays sequential. *)
   type plan =
-    | Cached of string  (* replay of a pre-batch cache entry *)
+    | Cached of float option
+        (* replay of a pre-batch cache entry, pinned at classification time
+           so a (vanishingly rare) mid-batch eviction cannot lose it *)
     | Run of int  (* fresh measurement, index into the parallel job array *)
     | Dup of int  (* same key as job i, measured earlier in this batch *)
     | Skip  (* budget exhausted: eval would return None unmeasured *)
@@ -100,20 +149,21 @@ module Recorder = struct
     for i = 0 to n - 1 do
       incr evals_v;
       let key = Assignment.key batch.(i) in
-      if Hashtbl.mem r.cache key then plans.(i) <- Cached key
-      else
-        match Hashtbl.find_opt fresh_keys key with
-        | Some j -> plans.(i) <- Dup j
-        | None ->
-            if !steps_v >= r.budget || !evals_v >= 50 * r.budget then
-              plans.(i) <- Skip
-            else begin
-              plans.(i) <- Run !n_jobs;
-              Hashtbl.replace fresh_keys key !n_jobs;
-              jobs_rev := batch.(i) :: !jobs_rev;
-              incr n_jobs;
-              incr steps_v
-            end
+      match Hashtbl.find_opt r.cache key with
+      | Some l -> plans.(i) <- Cached l
+      | None -> (
+          match Hashtbl.find_opt fresh_keys key with
+          | Some j -> plans.(i) <- Dup j
+          | None ->
+              if !steps_v >= r.budget || !evals_v >= 50 * r.budget then
+                plans.(i) <- Skip
+              else begin
+                plans.(i) <- Run !n_jobs;
+                Hashtbl.replace fresh_keys key !n_jobs;
+                jobs_rev := batch.(i) :: !jobs_rev;
+                incr n_jobs;
+                incr steps_v
+              end)
     done;
     (* Phase 2 — the only parallel part: run the measurer on every fresh
        candidate. Results land by job index. *)
@@ -125,27 +175,18 @@ module Recorder = struct
       (Array.mapi
          (fun i a ->
            r.evals <- r.evals + 1;
+           Obs.Counter.incr c_evals;
            match plans.(i) with
-           | Cached key -> Hashtbl.find r.cache key
-           | Dup j -> measured.(j)
-           | Skip -> None
-           | Run j ->
-               let l = measured.(j) in
-               Hashtbl.replace r.cache (Assignment.key a) l;
-               r.steps <- r.steps + 1;
-               (match l with
-               | None -> r.invalid <- r.invalid + 1
-               | Some lat ->
-                   let better =
-                     match r.best with None -> true | Some b -> lat < b
-                   in
-                   if better then begin
-                     r.best <- Some lat;
-                     r.best_a <- Some a
-                   end);
-               r.trace_rev <-
-                 { step = r.steps; latency = l; best = r.best } :: r.trace_rev;
-               l)
+           | Cached l ->
+               Obs.Counter.incr c_cache_hits;
+               l
+           | Dup j ->
+               Obs.Counter.incr c_cache_hits;
+               measured.(j)
+           | Skip ->
+               Obs.Counter.incr c_skips;
+               None
+           | Run j -> commit_fresh r a (Assignment.key a) measured.(j))
          batch)
 
   let finish r =

@@ -37,9 +37,18 @@ val score : float option -> float
 module Recorder : sig
   type r
 
-  val create : t -> budget:int -> r
+  val create : ?cache_cap:int -> t -> budget:int -> r
+  (** [cache_cap] bounds the measurement cache (default 65536): beyond it,
+      the oldest entries are evicted FIFO and counted on the
+      [env.cache_evictions] metric. An evicted configuration costs a fresh
+      measurement step if revisited, so the default is far above any
+      realistic campaign's distinct-configuration count. *)
+
   val exhausted : r -> bool
   val steps_left : r -> int
+
+  val cache_size : r -> int
+  (** Number of cached measurements (always [<= cache_cap]). *)
 
   val eval : r -> Assignment.t -> float option
   (** Measures (or replays from cache) and records one exploration step.

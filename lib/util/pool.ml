@@ -1,3 +1,14 @@
+module Obs = Heron_obs.Obs
+
+(* Batch/task counters: totals are deterministic for any pool size (a batch
+   of n tasks always counts n), while the caller/worker chunk split is
+   scheduling-dependent and only describes utilization. *)
+let c_batches = Obs.Counter.make "pool.batches"
+let c_tasks = Obs.Counter.make "pool.tasks"
+let c_chunks_caller = Obs.Counter.make "pool.chunks.caller"
+let c_chunks_worker = Obs.Counter.make "pool.chunks.worker"
+let g_jobs = Obs.Gauge.make "pool.jobs"
+
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;  (* new task queued, or shutdown requested *)
@@ -66,10 +77,14 @@ let with_pool ~domains f =
    live in a per-batch mutex/condition, never in the pool-wide one. *)
 let parallel_run t n body =
   if n > 0 then begin
-    if t.workers = [] then
+    Obs.Counter.incr c_batches;
+    Obs.Counter.add c_tasks n;
+    if t.workers = [] then begin
+      Obs.Counter.incr c_chunks_caller;
       for i = 0 to n - 1 do
         body i
       done
+    end
     else begin
       let chunks = min n (t.jobs * 4) in
       let chunk_size = (n + chunks - 1) / chunks in
@@ -99,18 +114,19 @@ let parallel_run t n body =
         if !completed = chunks then Condition.broadcast bc;
         Mutex.unlock bm
       in
-      let rec claim () =
+      let rec claim chunk_counter =
         let c = Atomic.fetch_and_add cursor 1 in
         if c < chunks then begin
+          Obs.Counter.incr chunk_counter;
           run_chunk c;
-          claim ()
+          claim chunk_counter
         end
       in
       Mutex.lock t.mutex;
-      List.iter (fun _ -> Queue.push claim t.queue) t.workers;
+      List.iter (fun _ -> Queue.push (fun () -> claim c_chunks_worker) t.queue) t.workers;
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
-      claim ();
+      claim c_chunks_caller;
       Mutex.lock bm;
       while !completed < chunks do
         Condition.wait bc bm
@@ -158,6 +174,9 @@ let init ?pool n f =
 let map_list ?pool f xs = Array.to_list (map ?pool f (Array.of_list xs))
 
 let default_pool = ref None
-let set_default p = default_pool := p
+
+let set_default p =
+  default_pool := p;
+  Obs.Gauge.set g_jobs (match p with Some t -> float_of_int t.jobs | None -> 1.0)
 let default () = !default_pool
 let resolve = function Some _ as p -> p | None -> default ()

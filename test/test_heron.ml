@@ -15,6 +15,7 @@
 let suites =
   [
     ("util", Test_util.suite);
+    ("obs", Test_obs.suite);
     ("pool", Test_pool.suite);
     ("tensor", Test_tensor.suite);
     ("csp", Test_csp.suite);

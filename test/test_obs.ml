@@ -1,0 +1,451 @@
+(* Observability layer tests: JSON round-trips, counter semantics (incl.
+   race-freedom under the domain pool), span nesting, golden-trace
+   regression on a fixed-seed tuning run (schema validity, monotone
+   best-so-far, counter/evals agreement), tracing transparency (results
+   are byte-identical with and without a journal), jobs-independence of
+   the deterministic counters, and the Recorder cache cap. *)
+
+module Obs = Heron_obs.Obs
+module Json = Heron_obs.Json
+module Trace = Heron_obs.Trace
+module Pool = Heron_util.Pool
+module Rng = Heron_util.Rng
+module Domain_ = Heron_csp.Domain
+module Cons = Heron_csp.Cons
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Env = Heron_search.Env
+module Cga = Heron_search.Cga
+
+(* ---------- helpers ---------- *)
+
+let tmp_journal () = Filename.temp_file "heron_obs" ".jsonl"
+
+let with_journal f =
+  let path = tmp_journal () in
+  let m = Obs.manifest ~tool:"test" ~seed:0 () in
+  Obs.start ~path m;
+  let x = Fun.protect ~finally:Obs.stop f in
+  let events =
+    match Trace.read_file path with
+    | Ok es -> es
+    | Error msg -> Alcotest.failf "journal unreadable: %s" msg
+  in
+  Sys.remove path;
+  (x, events)
+
+let counter_delta names f =
+  let before = List.map (fun n -> Obs.Counter.value (Obs.Counter.make n)) names in
+  let x = f () in
+  let after = List.map (fun n -> Obs.Counter.value (Obs.Counter.make n)) names in
+  (x, List.map2 (fun a b -> a - b) after before)
+
+let check_valid events =
+  Alcotest.(check (list string)) "schema valid" [] (Trace.schema_errors events);
+  Alcotest.(check (list string)) "nesting valid" [] (Trace.nesting_errors events)
+
+(* The paper's Figure 5 toy space: fast enough to tune in milliseconds. *)
+let toy_problem () =
+  let b = Problem.builder () in
+  Problem.add_var b "x" (Domain_.of_list [ 1; 2; 3; 4; 5 ]);
+  Problem.add_var b "y" (Domain_.of_list [ 1; 2; 3; 4; 5 ]);
+  Problem.add_var b "z" (Domain_.of_list [ 0; 1 ]);
+  Problem.add_var b "xy" (Domain_.of_list (List.init 8 (fun i -> i + 1)));
+  Problem.add_cons b (Cons.Prod ("xy", [ "x"; "y" ]));
+  Problem.freeze b
+
+let toy_objective a =
+  (0.4 *. float_of_int (Assignment.get a "x"))
+  +. (0.6 *. float_of_int (Assignment.get a "y"))
+  +. (0.01 *. float_of_int (Assignment.get a "z"))
+
+let toy_env seed =
+  let p = toy_problem () in
+  {
+    Env.problem = p;
+    measure =
+      (fun a ->
+        if Problem.check p a = Ok () then Some (1000.0 /. toy_objective a) else None);
+    rng = Rng.create seed;
+  }
+
+(* ---------- JSON ---------- *)
+
+let test_json_roundtrip () =
+  let values =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-123456789);
+      Json.Float 0.1;
+      Json.Float 1.0;
+      Json.Float 1e-9;
+      Json.Float (-3.25);
+      Json.String "";
+      Json.String "plain";
+      Json.String "esc \"quotes\" \\ back \n newline \t tab";
+      Json.String "ctrl \001 char";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Float 2.5 ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.parse s with
+      | Ok v' -> Alcotest.(check bool) ("roundtrip " ^ s) true (v = v')
+      | Error msg -> Alcotest.failf "parse %s failed: %s" s msg)
+    values
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    [ "{"; "tru"; "1 2"; "\"\\q\""; "[1,"; "{\"a\":}"; "" ]
+
+let test_json_accessors () =
+  let j = Json.Obj [ ("i", Json.Int 3); ("f", Json.Float 2.5); ("s", Json.String "x") ] in
+  Alcotest.(check (option int)) "int" (Some 3) (Option.bind (Json.member "i" j) Json.to_int_opt);
+  Alcotest.(check (option (float 0.0)))
+    "int widens" (Some 3.0)
+    (Option.bind (Json.member "i" j) Json.to_float_opt);
+  Alcotest.(check (option string))
+    "string" (Some "x")
+    (Option.bind (Json.member "s" j) Json.to_string_opt);
+  Alcotest.(check bool) "missing" true (Json.member "nope" j = None)
+
+(* ---------- counters ---------- *)
+
+let test_counter_basics () =
+  let c = Obs.Counter.make "test.basic" in
+  let c' = Obs.Counter.make "test.basic" in
+  let v0 = Obs.Counter.value c in
+  Obs.Counter.incr c;
+  Obs.Counter.add c' 9;
+  Alcotest.(check int) "same counter by name" (v0 + 10) (Obs.Counter.value c);
+  Alcotest.(check bool) "in snapshot" true
+    (List.mem_assoc "test.basic" (Obs.Counter.snapshot ()))
+
+let test_gauge_basics () =
+  let g = Obs.Gauge.make "test.gauge" in
+  Obs.Gauge.set g 2.5;
+  Alcotest.(check (float 0.0)) "set/get" 2.5 (Obs.Gauge.value g);
+  Alcotest.(check bool) "in snapshot" true
+    (List.mem_assoc "test.gauge" (Obs.Gauge.snapshot ()))
+
+(* Satellite: counters must be race-free under Pool.parallel_map — the
+   total is exact and identical for any jobs value. *)
+let test_counter_race_free_under_pool () =
+  let c = Obs.Counter.make "test.race" in
+  let tasks = 64 and per_task = 25 in
+  List.iter
+    (fun domains ->
+      let _, deltas =
+        counter_delta [ "test.race" ] (fun () ->
+            Pool.with_pool ~domains (fun pool ->
+                ignore
+                  (Pool.parallel_init pool tasks (fun _ ->
+                       for _ = 1 to per_task do
+                         Obs.Counter.incr c
+                       done))))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "exact total with %d domains" domains)
+        [ tasks * per_task ] deltas)
+    [ 1; 2; 4; 8 ]
+
+(* pool.tasks counts submitted tasks, so its total is jobs-independent even
+   though the chunk split is not. *)
+let test_pool_task_counter_jobs_independent () =
+  let run domains =
+    let _, deltas =
+      counter_delta [ "pool.tasks" ] (fun () ->
+          Pool.with_pool ~domains (fun pool ->
+              ignore (Pool.parallel_init pool 37 (fun i -> i * i))))
+    in
+    deltas
+  in
+  let d1 = run 1 in
+  Alcotest.(check (list int)) "37 tasks at jobs=1" [ 37 ] d1;
+  Alcotest.(check bool) "same at jobs=4" true (run 4 = d1)
+
+(* ---------- journal and spans ---------- *)
+
+let test_start_stop_lifecycle () =
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  let _, events =
+    with_journal (fun () ->
+        Alcotest.(check bool) "enabled inside" true (Obs.enabled ());
+        (match Obs.start ~path:"/dev/null" (Obs.manifest ~tool:"t" ()) with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "double start must raise"))
+  in
+  check_valid events;
+  Obs.stop () (* idempotent: no trace active *)
+
+let test_span_nesting_and_parents () =
+  let (), events =
+    with_journal (fun () ->
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span "inner" (fun () -> ());
+            Obs.with_span "inner2" (fun () -> ())))
+  in
+  check_valid events;
+  let begins = List.filter (fun (e : Trace.event) -> e.ev = "span_begin") events in
+  Alcotest.(check int) "three spans" 3 (List.length begins);
+  let find name =
+    List.find (fun e -> Trace.string_field "span" e = Some name) begins
+  in
+  let outer_id = Option.get (Trace.int_field "id" (find "outer")) in
+  Alcotest.(check bool) "outer is a root" true
+    (Trace.field "parent" (find "outer") = Some Json.Null);
+  Alcotest.(check (option int)) "inner nests under outer" (Some outer_id)
+    (Trace.int_field "parent" (find "inner"));
+  Alcotest.(check (option int)) "inner2 nests under outer" (Some outer_id)
+    (Trace.int_field "parent" (find "inner2"))
+
+let test_span_exception_safe () =
+  let (), events =
+    with_journal (fun () ->
+        match Obs.with_span "boom" (fun () -> failwith "expected") with
+        | exception Failure _ -> ()
+        | () -> Alcotest.fail "exception must propagate")
+  in
+  check_valid events;
+  Alcotest.(check int) "span closed despite exception" 1
+    (List.length (List.filter (fun (e : Trace.event) -> e.ev = "span_end") events))
+
+let test_timestamps_monotone () =
+  let (), events =
+    with_journal (fun () ->
+        for _ = 1 to 50 do
+          Obs.with_span "tick" (fun () -> ())
+        done)
+  in
+  check_valid events;
+  ignore
+    (List.fold_left
+       (fun prev (e : Trace.event) ->
+         Alcotest.(check bool) "t_ns non-decreasing" true (e.t_ns >= prev);
+         e.t_ns)
+       0 events)
+
+let test_trace_lint_rejects_malformed () =
+  (* The validators must actually catch broken journals. *)
+  Alcotest.(check bool) "bad JSON" true (Trace.parse_line "{not json" |> Result.is_error);
+  Alcotest.(check bool) "missing header" true
+    (Trace.parse_line "{\"v\":1,\"ev\":\"counter\"}" |> Result.is_error);
+  Alcotest.(check bool) "wrong version" true
+    (Trace.parse_line "{\"v\":99,\"t_ns\":0,\"ev\":\"counter\"}" |> Result.is_error);
+  let ev line =
+    match Trace.parse_line line with Ok e -> e | Error m -> Alcotest.failf "parse: %s" m
+  in
+  let manifest =
+    ev "{\"v\":1,\"t_ns\":0,\"ev\":\"manifest\",\"schema\":1,\"tool\":\"t\",\"git_rev\":\"x\"}"
+  in
+  Alcotest.(check bool) "unknown event type flagged" true
+    (Trace.schema_errors [ manifest; ev "{\"v\":1,\"t_ns\":1,\"ev\":\"bogus\"}" ] <> []);
+  Alcotest.(check bool) "missing required field flagged" true
+    (Trace.schema_errors
+       [ manifest; ev "{\"v\":1,\"t_ns\":1,\"ev\":\"counter\",\"name\":\"c\"}" ]
+    <> []);
+  Alcotest.(check bool) "manifest-first enforced" true
+    (Trace.schema_errors [ ev "{\"v\":1,\"t_ns\":0,\"ev\":\"trace_end\",\"events\":1}" ] <> []);
+  Alcotest.(check bool) "unmatched span_end flagged" true
+    (Trace.nesting_errors
+       [ ev "{\"v\":1,\"t_ns\":1,\"ev\":\"span_end\",\"span\":\"s\",\"id\":7,\"domain\":0,\"dur_ns\":1}" ]
+    <> []);
+  Alcotest.(check bool) "unclosed span flagged" true
+    (Trace.nesting_errors
+       [ ev "{\"v\":1,\"t_ns\":1,\"ev\":\"span_begin\",\"span\":\"s\",\"id\":7,\"parent\":null,\"domain\":0}" ]
+    <> [])
+
+(* ---------- golden trace of a fixed-seed tuning run ---------- *)
+
+let test_golden_tuning_trace () =
+  let (outcome, step_delta), events =
+    with_journal (fun () ->
+        counter_delta [ "env.measure_steps" ] (fun () -> Cga.run (toy_env 21) ~budget:40))
+  in
+  let outcome, step_delta = (outcome, List.hd step_delta) in
+  check_valid events;
+  (* Eval trajectory: steps are consecutive from 1, best is monotone
+     non-increasing, and the journal agrees with the in-memory result. *)
+  let evals = Trace.evals events in
+  let result = outcome.Cga.result in
+  Alcotest.(check int) "one eval event per trace point"
+    (List.length result.Env.trace) (List.length evals);
+  List.iteri
+    (fun i (step, _, _) -> Alcotest.(check int) "steps consecutive" (i + 1) step)
+    evals;
+  ignore
+    (List.fold_left
+       (fun prev (_, _, best) ->
+         (match (prev, best) with
+         | Some p, Some b -> Alcotest.(check bool) "best monotone" true (b <= p)
+         | None, _ -> ()
+         | Some _, None -> Alcotest.fail "best disappeared");
+         best)
+       None evals);
+  (match List.rev evals with
+  | (_, _, final_best) :: _ ->
+      Alcotest.(check bool) "final best matches result" true
+        (final_best = result.Env.best_latency)
+  | [] -> Alcotest.fail "no eval events");
+  (* Counter totals in the journal describe this run alone and agree with
+     both the live counter delta and the number of emitted eval events. *)
+  Alcotest.(check (option int)) "journal steps counter = live delta" (Some step_delta)
+    (Trace.counter events "env.measure_steps");
+  Alcotest.(check int) "steps counter = eval events" (List.length evals) step_delta;
+  (* Structure: generation events and the CGA phase spans are present. *)
+  Alcotest.(check bool) "has generation events" true
+    (List.exists (fun (e : Trace.event) -> e.ev = "generation") events);
+  let span_names =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        if e.ev = "span_begin" then Trace.string_field "span" e else None)
+      events
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("span " ^ name) true (List.mem name span_names))
+    [ "cga.seed_population"; "cga.evolve"; "cga.measure" ];
+  match events with
+  | first :: _ ->
+      Alcotest.(check (option string)) "manifest tool" (Some "test")
+        (Trace.string_field "tool" first);
+      Alcotest.(check bool) "git_rev present" true
+        (Trace.string_field "git_rev" first <> Some "")
+  | [] -> Alcotest.fail "empty journal"
+
+(* Tracing must never change what the search does. *)
+let test_tracing_transparent () =
+  let run traced =
+    let go () =
+      let o = Cga.run (toy_env 33) ~budget:40 in
+      (o.Cga.result.Env.best_latency, o.Cga.result.Env.trace, o.Cga.result.Env.invalid)
+    in
+    if traced then fst (with_journal go) else go ()
+  in
+  let plain = run false in
+  Alcotest.(check bool) "traced run identical" true (run true = plain);
+  Alcotest.(check bool) "untraced rerun identical" true (run false = plain)
+
+(* The deterministic counters advance by exactly the same amount for any
+   pool size (atomic increments over identical work). *)
+let deterministic_counters =
+  [
+    "env.evals";
+    "env.measure_steps";
+    "env.invalid";
+    "env.cache_hits";
+    "solver.nodes";
+    "solver.fails";
+    "solver.rand_sat_draws";
+    "solver.solve_calls";
+    "cga.iterations";
+    "cga.generations";
+    "cga.offspring_attempted";
+    "cga.offspring_accepted";
+  ]
+
+let test_counters_jobs_independent () =
+  let run pool =
+    counter_delta deterministic_counters (fun () ->
+        (Cga.run ?pool (toy_env 21) ~budget:40).Cga.result.Env.best_latency)
+  in
+  let best0, deltas0 = run None in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let best, deltas = run (Some p) in
+          Alcotest.(check bool) "same best" true (best = best0);
+          List.iteri
+            (fun i name ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s identical at jobs=%d" name domains)
+                (List.nth deltas0 i) (List.nth deltas i))
+            deterministic_counters))
+    [ 2; 4 ]
+
+(* ---------- Recorder cache cap ---------- *)
+
+let test_cache_cap_holds () =
+  let measured = ref 0 in
+  let p = toy_problem () in
+  let env =
+    {
+      Env.problem = p;
+      measure =
+        (fun a ->
+          incr measured;
+          Some (1000.0 /. toy_objective a));
+      rng = Rng.create 1;
+    }
+  in
+  let assignment x y = Assignment.of_list [ ("x", x); ("y", y); ("z", 0); ("xy", x * y) ] in
+  let distinct = [ assignment 1 1; assignment 1 2; assignment 1 3;
+                   assignment 1 4; assignment 1 5; assignment 2 1 ] in
+  let r = Env.Recorder.create ~cache_cap:3 env ~budget:100 in
+  let _, evictions =
+    counter_delta [ "env.cache_evictions" ] (fun () ->
+        List.iter (fun a -> ignore (Env.Recorder.eval r a)) distinct)
+  in
+  Alcotest.(check bool) "cap holds" true (Env.Recorder.cache_size r <= 3);
+  Alcotest.(check (list int)) "evictions counted" [ 3 ] evictions;
+  (* An evicted configuration is re-measured (one more hardware call); a
+     resident one replays from cache. *)
+  let calls = !measured in
+  ignore (Env.Recorder.eval r (assignment 1 1));
+  Alcotest.(check int) "evicted key re-measured" (calls + 1) !measured;
+  ignore (Env.Recorder.eval r (assignment 2 1));
+  Alcotest.(check int) "resident key cached" (calls + 1) !measured
+
+let test_cache_cap_default_never_evicts () =
+  let r = Env.Recorder.create (toy_env 9) ~budget:50 in
+  let _, evictions =
+    counter_delta [ "env.cache_evictions" ] (fun () ->
+        for x = 1 to 5 do
+          for y = 1 to 5 do
+            if x * y <= 8 then
+              ignore
+                (Env.Recorder.eval r
+                   (Assignment.of_list [ ("x", x); ("y", y); ("z", 0); ("xy", x * y) ]))
+          done
+        done)
+  in
+  Alcotest.(check (list int)) "no evictions at default cap" [ 0 ] evictions
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+    Alcotest.test_case "counters race-free under pool" `Quick
+      test_counter_race_free_under_pool;
+    Alcotest.test_case "pool.tasks jobs-independent" `Quick
+      test_pool_task_counter_jobs_independent;
+    Alcotest.test_case "start/stop lifecycle" `Quick test_start_stop_lifecycle;
+    Alcotest.test_case "span nesting and parents" `Quick test_span_nesting_and_parents;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
+    Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+    Alcotest.test_case "validators reject malformed journals" `Quick
+      test_trace_lint_rejects_malformed;
+    Alcotest.test_case "golden tuning trace" `Quick test_golden_tuning_trace;
+    Alcotest.test_case "tracing is transparent" `Quick test_tracing_transparent;
+    Alcotest.test_case "counters jobs-independent" `Quick test_counters_jobs_independent;
+    Alcotest.test_case "cache cap holds with evictions" `Quick test_cache_cap_holds;
+    Alcotest.test_case "default cap never evicts" `Quick test_cache_cap_default_never_evicts;
+  ]

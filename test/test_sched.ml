@@ -140,6 +140,85 @@ let test_generated_fused_numerics () =
 let test_generated_dlboost_numerics () =
   check_generated_numerics D.dlboost (Op.gemm ~dt:Op.I8 ~m:8 ~n:16 ~k:16 ()) ~solutions:4
 
+(* A schedule-free template — one Plain loop per original iterator — so any
+   operator cross-checks tiled execution against the reference interpreter
+   without needing a generator for its shape. *)
+let flat_template op =
+  let loop (it : Op.iter) =
+    {
+      Template.lname = it.Op.iname;
+      extent_var = it.Op.iname;
+      origin = it.Op.iname;
+      kind = it.Op.kind;
+      ann = Template.Plain;
+    }
+  in
+  let tpl =
+    {
+      Template.op;
+      stages =
+        [
+          {
+            Template.sname = "C";
+            scope = "local";
+            loops = List.map loop op.Op.iters;
+            attach = Template.Root;
+            role = Template.Compute;
+            align_pad = None;
+          };
+        ];
+      prims = [];
+      intrin = None;
+    }
+  in
+  let a =
+    Assignment.of_list (List.map (fun (it : Op.iter) -> (it.Op.iname, it.Op.extent)) op.Op.iters)
+  in
+  (tpl, a)
+
+let cross_check op =
+  let tpl, a = flat_template op in
+  let prog = Concrete.instantiate tpl a in
+  let rng = Rng.create 11 in
+  let inputs =
+    List.map
+      (fun (name, n) -> (name, Array.init n (fun _ -> Rng.float rng -. 0.5)))
+      (Ref_exec.input_sizes op)
+  in
+  match Tile_exec.run prog inputs with
+  | Error e -> Alcotest.fail e
+  | Ok got ->
+      let want = Ref_exec.run op inputs in
+      Alcotest.(check int) "output size" (Array.length want) (Array.length got);
+      Array.iteri
+        (fun i x ->
+          if abs_float (x -. got.(i)) > 1e-6 *. (1.0 +. abs_float x) then
+            Alcotest.failf "mismatch at %d: %f vs %f" i x got.(i))
+        want
+
+let test_tile_exec_gemv () = cross_check (Op.gemv ~m:9 ~k:7 ())
+let test_tile_exec_bmm () = cross_check (Op.bmm ~b:3 ~m:4 ~n:5 ~k:6 ())
+
+let test_tile_exec_fused_gemv () =
+  (* The epilogue must apply after the reduction completes, not per MAC. *)
+  cross_check (Op.fuse_post (Op.gemv ~m:9 ~k:7 ()) Op.Sigmoid)
+
+let test_tile_exec_scan_defers () =
+  (* Non-contraction bodies take the defer-to-reference path and must still
+     return the reference output. *)
+  cross_check (Op.scan ~b:2 ~l:8 ())
+
+let test_tile_exec_coverage_error () =
+  let op = Op.gemv ~m:9 ~k:7 () in
+  let tpl, a = flat_template op in
+  let prog = Concrete.instantiate tpl (Assignment.set a "i" 3) in
+  let inputs =
+    List.map (fun (name, n) -> (name, Array.make n 1.0)) (Ref_exec.input_sizes op)
+  in
+  match Tile_exec.run prog inputs with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "under-covered program must be rejected"
+
 let test_loop_path_nesting () =
   let op = Op.gemm ~m:64 ~n:64 ~k:64 () in
   let gen = Heron.Generator.generate D.v100 op in
@@ -217,6 +296,12 @@ let suite =
       test_generated_dlboost_numerics;
     Alcotest.test_case "generated fused gemm+relu numerics" `Quick
       test_generated_fused_numerics;
+    Alcotest.test_case "tile exec gemv vs reference" `Quick test_tile_exec_gemv;
+    Alcotest.test_case "tile exec bmm vs reference" `Quick test_tile_exec_bmm;
+    Alcotest.test_case "tile exec fused gemv vs reference" `Quick test_tile_exec_fused_gemv;
+    Alcotest.test_case "tile exec scan defers to reference" `Quick test_tile_exec_scan_defers;
+    Alcotest.test_case "tile exec rejects under-coverage" `Quick
+      test_tile_exec_coverage_error;
     Alcotest.test_case "loop path nesting" `Quick test_loop_path_nesting;
     Alcotest.test_case "storage_align footprint" `Quick test_align_pad_footprint;
     Alcotest.test_case "thread axis extents" `Quick test_axis_extent;

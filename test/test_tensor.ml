@@ -188,6 +188,34 @@ let test_scan () =
   let got = Ref_exec.run op [ ("X", x) ] in
   check_close ~msg:"scan" (Linalg.prefix_sum ~b ~l x) got
 
+let test_ref_exec_input_errors () =
+  let op = Op.gemv ~m:4 ~k:3 () in
+  Alcotest.check_raises "missing input"
+    (Invalid_argument "Ref_exec.run: missing input X") (fun () ->
+      ignore (Ref_exec.run op [ ("A", Array.make 12 1.0) ]));
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Ref_exec.run: input X has size 2, expected 3") (fun () ->
+      ignore (Ref_exec.run op [ ("A", Array.make 12 1.0); ("X", Array.make 2 1.0) ]))
+
+let test_ref_exec_sizes_consistent () =
+  (* input_sizes/output_size agree with the tensor shapes for every
+     constructor family used in the suite. *)
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter2
+        (fun (t : Op.tensor) (name, n) ->
+          Alcotest.(check string) "name" t.Op.tname name;
+          Alcotest.(check int) "size" (Op.numel t) n)
+        op.Op.inputs (Ref_exec.input_sizes op);
+      Alcotest.(check int) "out" (Op.numel op.Op.out) (Ref_exec.output_size op))
+    [
+      Op.gemm ~m:4 ~n:5 ~k:6 ();
+      Op.bmm ~b:2 ~m:3 ~n:4 ~k:5 ();
+      Op.gemv ~m:4 ~k:3 ();
+      Op.scan ~b:2 ~l:5 ();
+      Op.conv2d ~n:1 ~ci:2 ~h:5 ~w:5 ~co:3 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ();
+    ]
+
 let test_conv_out_dim () =
   Alcotest.(check int) "same" 56
     (Op.conv_out_dim ~in_dim:56 ~kernel:3 ~stride:1 ~pad:1 ~dilation:1);
@@ -291,6 +319,8 @@ let suite =
     qtest test_gemm_prop;
     Alcotest.test_case "bmm slices" `Quick test_bmm;
     Alcotest.test_case "gemv" `Quick test_gemv;
+    Alcotest.test_case "ref exec input errors" `Quick test_ref_exec_input_errors;
+    Alcotest.test_case "ref exec sizes consistent" `Quick test_ref_exec_sizes_consistent;
     Alcotest.test_case "conv2d vs direct" `Quick test_conv2d_matches_direct;
     Alcotest.test_case "conv2d strided" `Quick test_conv2d_strided;
     Alcotest.test_case "conv1d closed form" `Quick test_conv1d_closed_form;
