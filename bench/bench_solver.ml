@@ -1,0 +1,125 @@
+(* Solver engine comparison: the production engine (compiled-template
+   cache, bitset domains, trail-based backtracking) against the frozen
+   pre-overhaul reference [Solver_ref], on a fixed-seed CGA-shaped
+   workload over the v100 GEMM space — 64 RandSAT draws plus three
+   generations of 32 crossover offspring solved as a batch. Both engines
+   run the byte-identical problem list sequentially (no pool), so node
+   counts match exactly and the ratio isolates per-node engine cost plus
+   compile reuse. Emits BENCH_solver.json. *)
+
+module Op = Heron_tensor.Op
+module D = Heron_dla.Descriptor
+module Solver = Heron_csp.Solver
+module Solver_ref = Heron_csp.Solver_ref
+module Rng = Heron_util.Rng
+module Obs = Heron_obs.Obs
+
+let gen = Heron.Generator.generate D.v100 (Op.gemm ~m:1024 ~n:1024 ~k:1024 ())
+let base = gen.Heron.Generator.problem
+
+(* The same offspring lists for both engines: CGA's constraint-based
+   crossover, seeded once, materialized up front. *)
+let generations =
+  let parents = Array.of_list (Solver.rand_sat (Rng.create 5) base 8) in
+  if Array.length parents < 2 then failwith "v100 GEMM space unexpectedly hard";
+  let keys = [ "tile_i_warp"; "tile_j_warp"; "tile_r_in"; "vec_a" ] in
+  List.init 3 (fun g ->
+      Heron_search.Cga.crossover_csps (Rng.create (200 + g)) base ~keys ~parents ~n:32)
+
+let workload_draws = 64
+
+let now = Unix.gettimeofday
+
+(* One full workload pass parameterized by the engine's entry points;
+   returns wall-clock seconds. *)
+let timed_pass ~rand_sat ~solve_all =
+  let t0 = now () in
+  ignore (rand_sat (Rng.create 7) base workload_draws);
+  List.iteri (fun g batch -> ignore (solve_all (Rng.create (100 + g)) batch)) generations;
+  now () -. t0
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    best := Float.min !best (f ())
+  done;
+  !best
+
+let run_ref () =
+  let stats = Solver_ref.fresh_stats () in
+  let r0 = !Solver_ref.propagate_rounds in
+  let time =
+    best_of 3 (fun () ->
+        timed_pass
+          ~rand_sat:(fun rng p n -> Solver_ref.rand_sat ~stats rng p n)
+          ~solve_all:(fun rng ps -> Solver_ref.solve_all ~stats rng ps))
+  in
+  (* Counts accumulate over the 3 passes; each pass is deterministic, so
+     per-pass counts are the accumulated total divided by 3. *)
+  (stats.Solver_ref.nodes / 3, (!Solver_ref.propagate_rounds - r0) / 3, time)
+
+let run_new () =
+  let nodes = Obs.Counter.make "solver.nodes" in
+  let rounds = Obs.Counter.make "solver.propagate_rounds" in
+  let n0 = Obs.Counter.value nodes and r0 = Obs.Counter.value rounds in
+  let time =
+    best_of 3 (fun () ->
+        timed_pass
+          ~rand_sat:(fun rng p n -> Solver.rand_sat rng p n)
+          ~solve_all:(fun rng ps -> Solver.solve_all rng ps))
+  in
+  ((Obs.Counter.value nodes - n0) / 3, (Obs.Counter.value rounds - r0) / 3, time)
+
+let () =
+  (* Reference first so the production engine's compile cache cannot be
+     warmed by anything but its own first pass. *)
+  let ref_nodes, ref_rounds, ref_time = run_ref () in
+  let new_nodes, new_rounds, new_time = run_new () in
+  if new_nodes <> ref_nodes then
+    Printf.eprintf "WARNING: node counts diverge (ref %d, new %d)\n" ref_nodes new_nodes;
+  let per_sec n t = if t > 0.0 then float_of_int n /. t else 0.0 in
+  let json =
+    Printf.sprintf
+      {|{
+  "workload": {
+    "space": "v100 gemm 1024x1024x1024",
+    "rand_sat_draws": %d,
+    "generations": 3,
+    "offspring_per_generation": 32
+  },
+  "reference": {
+    "time_search_s": %.6f,
+    "nodes": %d,
+    "nodes_per_sec": %.0f,
+    "propagate_rounds": %d,
+    "propagate_rounds_per_sec": %.0f
+  },
+  "engine": {
+    "time_search_s": %.6f,
+    "nodes": %d,
+    "nodes_per_sec": %.0f,
+    "propagate_rounds": %d,
+    "propagate_rounds_per_sec": %.0f
+  },
+  "speedup": {
+    "nodes_per_sec": %.2f,
+    "time_search_reduction_pct": %.1f
+  }
+}
+|}
+      workload_draws ref_time ref_nodes
+      (per_sec ref_nodes ref_time)
+      ref_rounds
+      (per_sec ref_rounds ref_time)
+      new_time new_nodes
+      (per_sec new_nodes new_time)
+      new_rounds
+      (per_sec new_rounds new_time)
+      (per_sec new_nodes new_time /. Float.max (per_sec ref_nodes ref_time) 1e-9)
+      (100.0 *. (1.0 -. (new_time /. Float.max ref_time 1e-9)))
+  in
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  print_endline "wrote BENCH_solver.json"

@@ -1,0 +1,131 @@
+module Problem = Heron_csp.Problem
+module Assignment = Heron_csp.Assignment
+module Solver = Heron_csp.Solver
+module Solver_ref = Heron_csp.Solver_ref
+module Cons = Heron_csp.Cons
+module Domain = Heron_csp.Domain
+module Rng = Heron_util.Rng
+
+(* Tight budgets on purpose: Give_up and restart paths must also be
+   byte-identical between the engines, so we want a healthy fraction of
+   searches to exhaust them. *)
+let max_fails = 500
+
+let with_seed arb = QCheck.pair arb QCheck.small_int
+
+let keys_in_order l = List.map Assignment.key l
+let opt_key = Option.map Assignment.key
+
+let stats_equal (s : Solver.stats) (r : Solver_ref.stats) =
+  s.Solver.nodes = r.Solver_ref.nodes
+  && s.Solver.fails = r.Solver_ref.fails
+  && s.Solver.restarts = r.Solver_ref.restarts
+
+(* Random [In] extras over the problem's own variables — the shape CGA
+   crossover layers on the base CSP. Value subsets may be empty (an
+   unsatisfiable extension) or the full domain (a no-op one); both sides
+   must agree on those edges too. *)
+let random_in_extras rng p =
+  let vars = Problem.vars p in
+  let k = Rng.int rng (Array.length vars + 1) in
+  List.init k (fun _ ->
+      let v = vars.(Rng.int rng (Array.length vars)) in
+      let dom = Domain.to_list (Problem.domain p v) in
+      Cons.In (v, List.filter (fun _ -> Rng.int rng 3 > 0) dom))
+
+let solve_identical arb ~count =
+  QCheck.Test.make ~name:"engine: solve byte-identical to reference" ~count (with_seed arb)
+    (fun (sp, seed) ->
+      let p = Csp_gen.to_problem sp in
+      let st = Solver.fresh_stats () and str = Solver_ref.fresh_stats () in
+      let a = Solver.solve ~max_fails ~max_restarts:2 ~stats:st (Rng.create seed) p in
+      let b = Solver_ref.solve ~max_fails ~max_restarts:2 ~stats:str (Rng.create seed) p in
+      opt_key a = opt_key b && stats_equal st str)
+
+let solve_bounds_only_identical arb ~count =
+  QCheck.Test.make ~name:"engine: bounds-only solve byte-identical to reference" ~count
+    (with_seed arb) (fun (sp, seed) ->
+      let p = Csp_gen.to_problem sp in
+      let a = Solver.solve ~exact_limit:0 ~max_fails ~max_restarts:2 (Rng.create seed) p in
+      let b = Solver_ref.solve ~exact_limit:0 ~max_fails ~max_restarts:2 (Rng.create seed) p in
+      opt_key a = opt_key b)
+
+let rand_sat_identical arb ~count =
+  QCheck.Test.make ~name:"engine: rand_sat byte-identical to reference" ~count
+    (with_seed arb) (fun (sp, seed) ->
+      let p = Csp_gen.to_problem sp in
+      let a = Solver.rand_sat ~max_fails (Rng.create seed) p 4 in
+      let b = Solver_ref.rand_sat ~max_fails (Rng.create seed) p 4 in
+      keys_in_order a = keys_in_order b)
+
+let enumerate_identical arb ~count =
+  QCheck.Test.make ~name:"engine: enumerate byte-identical (incl. order) to reference"
+    ~count arb (fun sp ->
+      let p = Csp_gen.to_problem sp in
+      QCheck.assume (Oracle.space_size p <= 10_000);
+      keys_in_order (Solver.enumerate ~limit:20_000 p)
+      = keys_in_order (Solver_ref.enumerate ~limit:20_000 p))
+
+let propagate_domains_identical arb ~count =
+  QCheck.Test.make ~name:"engine: propagate_domains identical to reference" ~count arb
+    (fun sp ->
+      let p = Csp_gen.to_problem sp in
+      let norm = Option.map (List.map (fun (v, d) -> (v, Domain.to_list d))) in
+      norm (Solver.propagate_domains p) = norm (Solver_ref.propagate_domains p))
+
+let solve_biased_identical arb ~count =
+  QCheck.Test.make ~name:"engine: solve_biased byte-identical to reference" ~count
+    (with_seed arb) (fun (sp, seed) ->
+      let p = Csp_gen.to_problem sp in
+      let rngb = Rng.create (seed + 7) in
+      let bias =
+        Assignment.of_list
+          (Array.to_list
+             (Array.map
+                (fun v -> (v, Domain.random rngb (Problem.domain p v)))
+                (Problem.vars p)))
+      in
+      opt_key (Solver.solve_biased ~max_fails (Rng.create seed) p bias)
+      = opt_key (Solver_ref.solve_biased ~max_fails (Rng.create seed) p bias))
+
+(* The compiled-template fast path: offspring built with [with_extra]
+   (including nested extension) reuse the cached base template and layer
+   only the [In] filters on its propagated root. Results must match a
+   reference full compile of each offspring, and a repeat run — now a
+   guaranteed compile-cache hit — must reproduce itself. *)
+let incremental_identical arb ~count =
+  QCheck.Test.make ~name:"engine: with_extra template reuse byte-identical to reference"
+    ~count (with_seed arb) (fun (sp, seed) ->
+      let p = Csp_gen.to_problem sp in
+      let rng = Rng.create (seed + 1) in
+      let offspring =
+        Problem.with_extra
+          (Problem.with_extra p (random_in_extras rng p))
+          (random_in_extras rng p)
+        :: List.init 3 (fun _ -> Problem.with_extra p (random_in_extras rng p))
+      in
+      let a = Solver.solve_all ~max_fails ~max_restarts:1 (Rng.create seed) offspring in
+      let b = Solver_ref.solve_all ~max_fails ~max_restarts:1 (Rng.create seed) offspring in
+      List.map opt_key a = List.map opt_key b
+      &&
+      let o = List.hd offspring in
+      let r1 = Solver.rand_sat ~max_fails (Rng.create seed) o 3 in
+      let r2 = Solver.rand_sat ~max_fails (Rng.create seed) o 3 in
+      let rr = Solver_ref.rand_sat ~max_fails (Rng.create seed) o 3 in
+      keys_in_order r1 = keys_in_order rr
+      && keys_in_order r2 = keys_in_order rr
+      &&
+      let norm = Option.map (List.map (fun (v, d) -> (v, Domain.to_list d))) in
+      norm (Solver.propagate_domains o) = norm (Solver_ref.propagate_domains o))
+
+let tests ?(count = 300) () =
+  let arb = Csp_gen.arbitrary () in
+  [
+    solve_identical arb ~count;
+    solve_bounds_only_identical arb ~count;
+    rand_sat_identical arb ~count;
+    enumerate_identical arb ~count;
+    propagate_domains_identical arb ~count;
+    solve_biased_identical arb ~count;
+    incremental_identical arb ~count;
+  ]

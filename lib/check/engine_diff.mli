@@ -1,0 +1,15 @@
+(** Differential properties between the production solver engine
+    ({!Heron_csp.Solver}: compiled-template cache, bitset domains,
+    trail-based backtracking) and the frozen pre-overhaul reference
+    ({!Heron_csp.Solver_ref}).
+
+    Where {!Diff} checks the solver against a brute-force oracle for
+    soundness/completeness, these properties pin something stronger: the
+    two engines must be observationally *identical* — same solutions in
+    the same order for the same seeds (same RNG consumption), same
+    search statistics, same propagation fixpoints — across [solve],
+    [rand_sat], [solve_all], [enumerate], [propagate_domains] and
+    [solve_biased], including the [with_extra] incremental template-reuse
+    path and compile-cache hits. *)
+
+val tests : ?count:int -> unit -> QCheck.Test.t list

@@ -2,6 +2,7 @@ let all ~budget =
   let at n = max 1 n in
   [
     ("diff", Diff.tests ~count:(at budget) ());
+    ("engine", Engine_diff.tests ~count:(at budget) ());
     ("dla", Dla_props.tests ~count:(at (budget / 8)) ());
     ("search", Search_props.tests ~count:(at (budget / 15)) ());
   ]

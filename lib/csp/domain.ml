@@ -50,7 +50,44 @@ let inter a b =
   done;
   Array.of_list (List.rev !out)
 
-let union a b = of_list (Array.to_list a @ Array.to_list b)
+(* Linear merge of the two sorted inputs — [union] runs on every CSel
+   revise, so no sort and no intermediate lists. *)
+let union a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let x = a.(!i) and y = b.(!j) in
+      if x = y then begin
+        out.(!k) <- x;
+        incr i;
+        incr j
+      end
+      else if x < y then begin
+        out.(!k) <- x;
+        incr i
+      end
+      else begin
+        out.(!k) <- y;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < la do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < lb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    if !k = la + lb then out else Array.sub out 0 !k
+  end
 
 let equal a b = a = b
 

@@ -12,7 +12,14 @@ type t = {
   domains : Domain.t array;
   categories : category array;
   cons : Cons.t list;
+  origin : origin;
 }
+
+(* Provenance of a problem: built from scratch, or derived by layering
+   extra constraints on an existing problem via [with_extra]. The solver
+   uses this to reuse one compiled template (and its propagated root)
+   across a whole family of CGA offspring. *)
+and origin = Root | Extended of t * Cons.t list
 
 type builder = {
   mutable b_names : string list;  (* reversed *)
@@ -69,6 +76,7 @@ let freeze b =
     domains = Array.of_list (List.rev b.b_domains);
     categories = Array.of_list (List.rev b.b_categories);
     cons = List.rev b.b_cons;
+    origin = Root;
   }
 
 let of_parts vars cons =
@@ -104,7 +112,14 @@ let with_extra t cs =
                  (Cons.to_string c)))
         (Cons.vars c))
     cs;
-  { t with cons = t.cons @ cs }
+  { t with cons = t.cons @ cs; origin = Extended (t, cs) }
+
+let rec decompose t =
+  match t.origin with
+  | Root -> (t, [])
+  | Extended (base, extras) ->
+      let root, inner = decompose base in
+      (root, inner @ extras)
 
 let check t a =
   let lookup v = Assignment.get a v in

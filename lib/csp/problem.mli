@@ -50,6 +50,15 @@ val with_extra : t -> Cons.t list -> t
     transformation at the heart of constraint-based crossover.
     Unknown variables in [cs] are rejected like {!add_cons}. *)
 
+val decompose : t -> t * Cons.t list
+(** [decompose p] is [(root, extras)] where [root] is the underlying
+    problem [p] was derived from by (possibly nested) {!with_extra}
+    calls and [extras] lists the layered constraints in application
+    order, so [root] extended with [extras] has exactly [p]'s
+    constraint list. For a problem built directly, it is [(p, [])].
+    The root is returned by physical identity, letting the solver key a
+    compiled-template cache on it. *)
+
 val check : t -> Assignment.t -> (unit, Cons.t) result
 (** First violated constraint, if any. Also fails when a value falls
     outside its declared domain (reported as an [In] constraint). *)

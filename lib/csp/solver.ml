@@ -4,7 +4,8 @@ module Obs = Heron_obs.Obs
 (* Global observability counters, alongside the per-search [stats] record:
    [stats] feeds experiment tables, counters feed --metrics/--trace.
    Atomic increments only — totals are deterministic for any pool size
-   because the work itself is (per-task split generators). *)
+   because the work itself is (per-task split generators) and compile-cache
+   lookups happen only in sequential caller code. *)
 let c_revise = Obs.Counter.make "solver.revise"
 let c_propagate = Obs.Counter.make "solver.propagate_rounds"
 let c_wipeouts = Obs.Counter.make "solver.wipeouts"
@@ -13,6 +14,9 @@ let c_fails = Obs.Counter.make "solver.fails"
 let c_restarts = Obs.Counter.make "solver.restarts"
 let c_solve = Obs.Counter.make "solver.solve_calls"
 let c_draws = Obs.Counter.make "solver.rand_sat_draws"
+let c_compiles = Obs.Counter.make "solver.compiles"
+let c_cache_hits = Obs.Counter.make "solver.compile_cache_hits"
+let c_trail = Obs.Counter.make "solver.trail_pushes"
 
 type stats = { mutable nodes : int; mutable fails : int; mutable restarts : int }
 
@@ -33,23 +37,444 @@ type ic =
    propagation-strength ablation). *)
 let default_exact_limit = 10_000
 
+(* Where variable [i]'s live domain lives: a slice of [nw] words at word
+   offset [off] of the engine's flat store, bit b meaning [values.(b)] is
+   still live. [values] is the frozen initial domain — search only ever
+   removes values, so it is a universe for the whole search tree. *)
+type layout = { values : int array; off : int; nw : int }
+
 type compiled = {
-  problem : Problem.t;
-  ids : (string, int) Hashtbl.t;
   names : string array;
-  init_domains : Domain.t array;
+  ids : (string, int) Hashtbl.t;
   ics : ic array;
-  watchers : int list array;  (* var id -> constraint ids *)
+  watchers : int array array;  (* var id -> constraint ids *)
   exact_limit : int;  (* binary exact-support threshold for PROD/SUM *)
+  layouts : layout array;
+  total_words : int;
+  max_nw : int;  (* widest single-variable slice, sizes filter scratch *)
+  max_arity : int;
+  nvars : int;
+  nc : int;
+  (* Root fixpoint, computed once at compile time: the initial domains
+     propagated to quiescence under the problem's own constraints. Every
+     search and every incremental extension starts from a blit of this.
+     Mutable only because it is produced by running the engine right
+     after the record is built. *)
+  mutable root_words : int array;
+  mutable root_ok : bool;
 }
 
+(* One backtracking engine: flat live-domain store, an undo trail of
+   (flat word index, old word) pairs, and reusable propagation scratch.
+   Allocated once per solve/draw and reused across every node of that
+   search — the per-node [Array.copy doms] of the old engine is gone. *)
+type engine = {
+  cp : compiled;
+  store : int array;
+  mutable tr_idx : int array;
+  mutable tr_old : int array;
+  mutable tr_len : int;
+  mutable trailing : bool;  (* root/extras propagation runs untrailed *)
+  mutable trail_pushed : int;  (* local tally, flushed to c_trail once *)
+  in_queue : bool array;
+  queue : int array;  (* ring buffer; in_queue bounds occupancy by nc *)
+  mutable q_head : int;
+  mutable q_count : int;
+  scratch : int array;  (* filter build area, committed after the scan *)
+  scratch2 : int array;  (* exact-support value masks over v's universe *)
+  mutable changed : int array;  (* vars changed by the current revise *)
+  mutable n_changed : int;
+  lo_buf : int array;  (* n-ary operand bound snapshots *)
+  hi_buf : int array;
+  suf_lo : int array;
+  suf_hi : int array;
+}
+
+let make_engine cp start =
+  let store = Array.make cp.total_words 0 in
+  Array.blit start 0 store 0 cp.total_words;
+  {
+    cp;
+    store;
+    tr_idx = Array.make 64 0;
+    tr_old = Array.make 64 0;
+    tr_len = 0;
+    trailing = false;
+    trail_pushed = 0;
+    in_queue = Array.make (max cp.nc 1) false;
+    (* Ring capacity is the next power of two >= nc so the wrap in
+       q_push/q_pop is a mask, not a division. [in_queue] bounds
+       occupancy by nc, so the ring never overflows. *)
+    queue =
+      (let cap = ref 1 in
+       while !cap < cp.nc do
+         cap := !cap lsl 1
+       done;
+       Array.make !cap 0);
+    q_head = 0;
+    q_count = 0;
+    scratch = Array.make (max cp.max_nw 1) 0;
+    scratch2 = Array.make (max cp.max_nw 1) 0;
+    changed = Array.make 16 0;
+    n_changed = 0;
+    lo_buf = Array.make (cp.max_arity + 1) 0;
+    hi_buf = Array.make (cp.max_arity + 1) 0;
+    suf_lo = Array.make (cp.max_arity + 2) 0;
+    suf_hi = Array.make (cp.max_arity + 2) 0;
+  }
+
+let reset e start =
+  Array.blit start 0 e.store 0 e.cp.total_words;
+  e.tr_len <- 0
+
+let finish_engine e =
+  Obs.Counter.add c_trail e.trail_pushed;
+  e.trail_pushed <- 0
+
+let write_word e fi w =
+  if e.store.(fi) <> w then begin
+    if e.trailing then begin
+      if e.tr_len = Array.length e.tr_idx then begin
+        let cap = 2 * Array.length e.tr_idx in
+        let idx = Array.make cap 0 and old = Array.make cap 0 in
+        Array.blit e.tr_idx 0 idx 0 e.tr_len;
+        Array.blit e.tr_old 0 old 0 e.tr_len;
+        e.tr_idx <- idx;
+        e.tr_old <- old
+      end;
+      e.tr_idx.(e.tr_len) <- fi;
+      e.tr_old.(e.tr_len) <- e.store.(fi);
+      e.tr_len <- e.tr_len + 1;
+      e.trail_pushed <- e.trail_pushed + 1
+    end;
+    e.store.(fi) <- w
+  end
+
+let undo_to e mark =
+  for i = e.tr_len - 1 downto mark do
+    e.store.(e.tr_idx.(i)) <- e.tr_old.(i)
+  done;
+  e.tr_len <- mark
+
+let push_changed e v =
+  if e.n_changed = Array.length e.changed then begin
+    let bigger = Array.make (2 * Array.length e.changed) 0 in
+    Array.blit e.changed 0 bigger 0 e.n_changed;
+    e.changed <- bigger
+  end;
+  e.changed.(e.n_changed) <- v;
+  e.n_changed <- e.n_changed + 1
+
+(* Live-domain reads. All mirror the sorted-array semantics exactly:
+   ascending order, [Invalid_argument] on empty bounds. *)
+
+let d_size e v =
+  let l = e.cp.layouts.(v) in
+  Bitdom.popcount e.store ~off:l.off ~nw:l.nw
+
+let d_min e v =
+  let l = e.cp.layouts.(v) in
+  match Bitdom.min_bit e.store ~off:l.off ~nw:l.nw with
+  | -1 -> invalid_arg "Solver.d_min: empty domain"
+  | b -> l.values.(b)
+
+let d_max e v =
+  let l = e.cp.layouts.(v) in
+  match Bitdom.max_bit e.store ~off:l.off ~nw:l.nw with
+  | -1 -> invalid_arg "Solver.d_max: empty domain"
+  | b -> l.values.(b)
+
+let d_mem e v x =
+  let l = e.cp.layouts.(v) in
+  let i = Bitdom.index_of l.values x in
+  i >= 0 && Bitdom.mem_bit e.store ~off:l.off i
+
+let d_iter e v f =
+  let l = e.cp.layouts.(v) in
+  Bitdom.iter_bits (fun b -> f l.values.(b)) e.store ~off:l.off ~nw:l.nw
+
+let d_exists e v p =
+  let l = e.cp.layouts.(v) in
+  let found = ref false in
+  (try
+     Bitdom.iter_bits
+       (fun b -> if p l.values.(b) then begin
+          found := true;
+          raise Exit
+        end)
+       e.store ~off:l.off ~nw:l.nw
+   with Exit -> ());
+  !found
+
+let d_value e v = if d_size e v = 1 then Some (d_min e v) else None
+
+let live_values e v =
+  let l = e.cp.layouts.(v) in
+  let n = Bitdom.popcount e.store ~off:l.off ~nw:l.nw in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  Bitdom.iter_bits
+    (fun b ->
+      out.(!k) <- l.values.(b);
+      incr k)
+    e.store ~off:l.off ~nw:l.nw;
+  out
+
+exception Wipeout
+
+(* Commit discipline: every revise builds a variable's new live set in
+   scratch while reading only committed state, then commits in one pass.
+   This reproduces the old [Domain.filter] + [set_dom] live-read
+   sequencing exactly, which the aliasing regression tests (v = x * v)
+   depend on. Raises [Wipeout] before writing anything if the result is
+   empty, like [set_dom] did. *)
+let commit_from_scratch e v buf =
+  let l = e.cp.layouts.(v) in
+  if Bitdom.is_empty_slice buf ~off:0 ~nw:l.nw then raise Wipeout;
+  let any = ref false in
+  for wi = 0 to l.nw - 1 do
+    let fi = l.off + wi in
+    if e.store.(fi) <> buf.(wi) then begin
+      any := true;
+      write_word e fi buf.(wi)
+    end
+  done;
+  if !any then push_changed e v
+
+let commit_filter e v p =
+  let l = e.cp.layouts.(v) in
+  for wi = 0 to l.nw - 1 do
+    let w = ref e.store.(l.off + wi) in
+    let base = wi * Bitdom.bits_per_word in
+    let out = ref 0 and b = ref 0 in
+    while !w <> 0 do
+      if !w land 1 = 1 && p l.values.(base + !b) then out := !out lor (1 lsl !b);
+      w := !w lsr 1;
+      incr b
+    done;
+    e.scratch.(wi) <- !out
+  done;
+  if l.nw = 0 then raise Wipeout;
+  commit_from_scratch e v e.scratch
+
+(* v = x (unary PROD/SUM and CEq): intersect both with the other. The
+   second filter reads the already-narrowed first, so both end at the
+   intersection, exactly like the old shared [Domain.inter]. *)
+let revise_eq e a b =
+  commit_filter e a (fun x -> d_mem e b x);
+  commit_filter e b (fun x -> d_mem e a x)
+
+let revise_le e a b =
+  let hi = d_max e b in
+  commit_filter e a (fun x -> x <= hi);
+  let lo = d_min e a in
+  commit_filter e b (fun x -> x >= lo)
+
+let revise_in e v cs = commit_filter e v (fun x -> Domain.mem x cs)
+
+let revise_sel e v u vs =
+  let n = Array.length vs in
+  (* Index domain: valid positions whose source still intersects v. *)
+  commit_filter e u (fun i -> i >= 0 && i < n && d_exists e v (fun x -> d_mem e vs.(i) x));
+  (* v must lie in the union of the still-selectable sources. *)
+  commit_filter e v (fun x -> d_exists e u (fun i -> d_mem e vs.(i) x));
+  match d_value e u with
+  | Some i ->
+      commit_filter e v (fun x -> d_mem e vs.(i) x);
+      commit_filter e vs.(i) (fun x -> d_mem e v x)
+  | None -> ()
+
+(* Generic bounds propagation for v = fold op over vs, with op monotone
+   and all domains non-negative. [inv_lo]/[inv_hi] compute the bounds of
+   one operand given bounds of v and the aggregate of the others.
+
+   Operand bounds are snapshotted once and combined through prefix/suffix
+   aggregates, making the revise O(k) instead of the old O(k^2) rescan.
+   The snapshot can be stale for operands narrowed earlier in this same
+   revise; that only weakens individual prunings (still sound), and the
+   constraint re-enters the queue whenever one of its variables changes,
+   so the propagation fixpoint — where snapshot and live bounds agree —
+   is identical to the old engine's. *)
+let revise_nary e v vs ~identity ~op ~inv_lo ~inv_hi =
+  let k = Array.length vs in
+  for i = 0 to k - 1 do
+    e.lo_buf.(i) <- d_min e vs.(i);
+    e.hi_buf.(i) <- d_max e vs.(i)
+  done;
+  let lo_all = ref identity and hi_all = ref identity in
+  for i = 0 to k - 1 do
+    lo_all := op !lo_all e.lo_buf.(i);
+    hi_all := op !hi_all e.hi_buf.(i)
+  done;
+  let lo_all = !lo_all and hi_all = !hi_all in
+  commit_filter e v (fun x -> x >= lo_all && x <= hi_all);
+  let v_lo = d_min e v and v_hi = d_max e v in
+  e.suf_lo.(k) <- identity;
+  e.suf_hi.(k) <- identity;
+  for i = k - 1 downto 0 do
+    e.suf_lo.(i) <- op e.lo_buf.(i) e.suf_lo.(i + 1);
+    e.suf_hi.(i) <- op e.hi_buf.(i) e.suf_hi.(i + 1)
+  done;
+  let pre_lo = ref identity and pre_hi = ref identity in
+  for i = 0 to k - 1 do
+    let others_lo = op !pre_lo e.suf_lo.(i + 1) in
+    let others_hi = op !pre_hi e.suf_hi.(i + 1) in
+    let lo = inv_lo v_lo others_hi and hi = inv_hi v_hi others_lo in
+    commit_filter e vs.(i) (fun a -> a >= lo && a <= hi);
+    pre_lo := op !pre_lo e.lo_buf.(i);
+    pre_hi := op !pre_hi e.hi_buf.(i)
+  done
+
+(* Exact binary support pruning: mark which of v's universe values are a
+   product (resp. sum) of live (a, b) pairs into scratch2, AND it into v,
+   then keep only supported values of a and b. Every step reads the live
+   store — [v], [a] and [b] may alias the same variable, and filtering a
+   stale snapshot can resurrect values pruned moments earlier, making the
+   fixpoint oscillate forever (e.g. v = x * v with 0 in both domains). *)
+(* Domains are non-negative (an engine-wide assumption, see
+   [revise_nary]), so for a fixed [x] the targets [combine x y] are
+   nondecreasing as [y] iterates ascending. Each inner loop therefore
+   keeps a galloping lower-bound cursor into [v]'s sorted universe
+   instead of running a full binary search per pair: [seek] advances the
+   cursor to the first index whose value is >= [t] (or [n] if none) in
+   O(log gap), and a pair is supported iff the value there equals [t]
+   (and, for the keep phases, its bit is still live). *)
+let seek (values : int array) n pos t =
+  if pos >= n || values.(pos) >= t then pos
+  else begin
+    let step = ref 1 in
+    while pos + !step < n && values.(pos + !step) < t do
+      step := !step lsl 1
+    done;
+    let lo = ref (pos + (!step lsr 1)) and hi = ref (min (pos + !step) (n - 1)) in
+    if values.(!hi) < t then n
+    else begin
+      (* invariant: values.(!lo) < t <= values.(!hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if values.(mid) < t then lo := mid else hi := mid
+      done;
+      !hi
+    end
+  end
+
+let revise_exact_binary e v a b combine =
+  let lv = e.cp.layouts.(v) in
+  let n = Array.length lv.values in
+  for wi = 0 to lv.nw - 1 do
+    e.scratch2.(wi) <- 0
+  done;
+  d_iter e a (fun x ->
+      let pos = ref 0 in
+      d_iter e b (fun y ->
+          let i = seek lv.values n !pos (combine x y) in
+          pos := i;
+          if i < n && lv.values.(i) = combine x y then
+            e.scratch2.(i / Bitdom.bits_per_word) <-
+              e.scratch2.(i / Bitdom.bits_per_word)
+              lor (1 lsl (i mod Bitdom.bits_per_word))));
+  for wi = 0 to lv.nw - 1 do
+    e.scratch.(wi) <- e.store.(lv.off + wi) land e.scratch2.(wi)
+  done;
+  if lv.nw = 0 then raise Wipeout;
+  commit_from_scratch e v e.scratch;
+  commit_filter e a (fun x ->
+      let pos = ref 0 in
+      d_exists e b (fun y ->
+          let t = combine x y in
+          let i = seek lv.values n !pos t in
+          pos := i;
+          i < n && lv.values.(i) = t && Bitdom.mem_bit e.store ~off:lv.off i));
+  commit_filter e b (fun y ->
+      let pos = ref 0 in
+      d_exists e a (fun x ->
+          let t = combine x y in
+          let i = seek lv.values n !pos t in
+          pos := i;
+          i < n && lv.values.(i) = t && Bitdom.mem_bit e.store ~off:lv.off i))
+
+let revise_prod e v vs =
+  match vs with
+  | [| x |] -> revise_eq e v x
+  | [| a; b |] when d_size e a * d_size e b <= e.cp.exact_limit ->
+      revise_exact_binary e v a b ( * )
+  | _ ->
+      revise_nary e v vs ~identity:1 ~op:( * )
+        ~inv_lo:(fun v_lo others_hi -> if others_hi = 0 then 0 else (v_lo + others_hi - 1) / others_hi)
+        ~inv_hi:(fun v_hi others_lo -> if others_lo = 0 then max_int else v_hi / others_lo)
+
+let revise_sum e v vs =
+  match vs with
+  | [| x |] -> revise_eq e v x
+  | [| a; b |] when d_size e a * d_size e b <= e.cp.exact_limit ->
+      revise_exact_binary e v a b ( + )
+  | _ ->
+      revise_nary e v vs ~identity:0 ~op:( + )
+        ~inv_lo:(fun v_lo others_hi -> v_lo - others_hi)
+        ~inv_hi:(fun v_hi others_lo -> v_hi - others_lo)
+
+let revise e = function
+  | CProd (v, vs) -> revise_prod e v vs
+  | CSum (v, vs) -> revise_sum e v vs
+  | CEq (a, b) -> revise_eq e a b
+  | CLe (a, b) -> revise_le e a b
+  | CIn (v, cs) -> revise_in e v cs
+  | CSel (v, u, vs) -> revise_sel e v u vs
+
+let q_push e ci =
+  if not e.in_queue.(ci) then begin
+    e.in_queue.(ci) <- true;
+    let cap = Array.length e.queue in
+    e.queue.((e.q_head + e.q_count) land (cap - 1)) <- ci;
+    e.q_count <- e.q_count + 1
+  end
+
+let q_pop e =
+  let ci = e.queue.(e.q_head) in
+  e.q_head <- (e.q_head + 1) land (Array.length e.queue - 1);
+  e.q_count <- e.q_count - 1;
+  e.in_queue.(ci) <- false;
+  ci
+
+let q_clear e =
+  while e.q_count > 0 do
+    ignore (q_pop e)
+  done
+
+let push_watchers e v =
+  let ws = e.cp.watchers.(v) in
+  for j = 0 to Array.length ws - 1 do
+    q_push e ws.(j)
+  done
+
+(* Fixpoint propagation over whatever the caller queued. Returns [false]
+   on wipeout, leaving the queue empty either way; partially committed
+   words are the caller's to undo (trail) or discard. *)
+let run_queue e =
+  try
+    while e.q_count > 0 do
+      Obs.Counter.incr c_revise;
+      let ci = q_pop e in
+      e.n_changed <- 0;
+      revise e e.cp.ics.(ci);
+      for k = 0 to e.n_changed - 1 do
+        push_watchers e e.changed.(k)
+      done
+    done;
+    Obs.Counter.incr c_propagate;
+    true
+  with Wipeout ->
+    Obs.Counter.incr c_wipeouts;
+    q_clear e;
+    false
+
 let compile ?(exact_limit = default_exact_limit) problem =
+  Obs.Counter.incr c_compiles;
   let names = Problem.vars problem in
   let n = Array.length names in
   let ids = Hashtbl.create (2 * n) in
   Array.iteri (fun i name -> Hashtbl.replace ids name i) names;
   let id name = Hashtbl.find ids name in
-  let init_domains = Array.map (Problem.domain problem) names in
   let ics =
     Problem.constraints problem
     |> List.map (fun c ->
@@ -62,7 +487,7 @@ let compile ?(exact_limit = default_exact_limit) problem =
            | Cons.Select (v, u, vs) -> CSel (id v, id u, Array.of_list (List.map id vs)))
     |> Array.of_list
   in
-  let watchers = Array.make n [] in
+  let watcher_lists = Array.make n [] in
   Array.iteri
     (fun ci ic ->
       let vars =
@@ -72,214 +497,224 @@ let compile ?(exact_limit = default_exact_limit) problem =
         | CIn (v, _) -> [ v ]
         | CSel (v, u, vs) -> v :: u :: Array.to_list vs
       in
-      List.iter (fun vid -> watchers.(vid) <- ci :: watchers.(vid)) (List.sort_uniq compare vars))
+      List.iter
+        (fun vid -> watcher_lists.(vid) <- ci :: watcher_lists.(vid))
+        (List.sort_uniq compare vars))
     ics;
-  { problem; ids; names; init_domains; ics; watchers; exact_limit }
+  let layouts = Array.make n { values = [||]; off = 0; nw = 0 } in
+  let off = ref 0 and max_nw = ref 1 in
+  Array.iteri
+    (fun i name ->
+      let values = Array.of_list (Domain.to_list (Problem.domain problem name)) in
+      let nw = Bitdom.nwords (Array.length values) in
+      layouts.(i) <- { values; off = !off; nw };
+      off := !off + nw;
+      if nw > !max_nw then max_nw := nw)
+    names;
+  let max_arity =
+    Array.fold_left
+      (fun acc ic ->
+        match ic with
+        | CProd (_, vs) | CSum (_, vs) | CSel (_, _, vs) -> max acc (Array.length vs)
+        | _ -> acc)
+      1 ics
+  in
+  let cp =
+    {
+      names;
+      ids;
+      ics;
+      watchers = Array.map (fun l -> Array.of_list l) watcher_lists;
+      exact_limit;
+      layouts;
+      total_words = !off;
+      max_nw = !max_nw;
+      max_arity;
+      nvars = n;
+      nc = Array.length ics;
+      root_words = [||];
+      root_ok = false;
+    }
+  in
+  let start = Array.make cp.total_words 0 in
+  Array.iter
+    (fun l -> Bitdom.fill start ~off:l.off ~n:(Array.length l.values))
+    layouts;
+  let e = make_engine cp start in
+  for ci = 0 to cp.nc - 1 do
+    q_push e ci
+  done;
+  cp.root_ok <- run_queue e;
+  cp.root_words <- e.store;
+  cp
 
-exception Wipeout
+(* Compiled-template cache, keyed by problem physical identity and exact
+   limit. CGA offspring all decompose to the same base problem, so one
+   compile (and one root propagation) serves a whole tuning run. The
+   mutex makes concurrent access safe, but for deterministic
+   [solver.compile_cache_hits] totals all our entry points consult the
+   cache from sequential caller code only — never inside pool tasks. *)
+let cache_cap = 8
+let cache : (Problem.t * int * compiled) list ref = ref []
+let cache_mutex = Mutex.create ()
 
-let set_dom doms changed vid d =
-  if Domain.is_empty d then raise Wipeout;
-  if not (Domain.equal doms.(vid) d) then begin
-    doms.(vid) <- d;
-    changed := vid :: !changed
+let compile_cached ~exact_limit problem =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) @@ fun () ->
+  let rec find acc = function
+    | [] -> None
+    | ((p, el, cp) as entry) :: rest ->
+        if p == problem && el = exact_limit then Some (entry, cp, List.rev_append acc rest)
+        else find (entry :: acc) rest
+  in
+  match find [] !cache with
+  | Some (entry, cp, rest) ->
+      Obs.Counter.incr c_cache_hits;
+      cache := entry :: rest;
+      cp
+  | None ->
+      let cp = compile ~exact_limit problem in
+      cache := List.filteri (fun i _ -> i < cache_cap) ((problem, exact_limit, cp) :: !cache);
+      cp
+
+let is_in_cons = function Cons.In _ -> true | _ -> false
+
+(* Resolve a problem to (compiled template, start words), or [None] when
+   propagation alone refutes it. [Problem.with_extra] offspring whose
+   extras are all [In] constraints reuse the cached base template: blit
+   the base's root fixpoint, apply the [In] filters directly (an [In]
+   revise is a one-shot intersection — once applied it stays satisfied as
+   domains shrink, so the extras never need to join the watcher graph),
+   and re-propagate only the constraints watching a changed variable.
+   The result is the same fixpoint a full compile would reach. *)
+let prepare ?(exact_limit = default_exact_limit) problem =
+  let root, extras = Problem.decompose problem in
+  if root == problem then begin
+    let cp = compile_cached ~exact_limit problem in
+    if cp.root_ok then Some (cp, cp.root_words) else None
+  end
+  else if List.for_all is_in_cons extras then begin
+    let cp = compile_cached ~exact_limit root in
+    if not cp.root_ok then None
+    else if extras = [] then Some (cp, cp.root_words)
+    else begin
+      let e = make_engine cp cp.root_words in
+      let ok =
+        try
+          e.n_changed <- 0;
+          List.iter
+            (fun c ->
+              match c with
+              | Cons.In (v, cs) ->
+                  let vid = Hashtbl.find cp.ids v in
+                  let csd = Domain.of_list cs in
+                  commit_filter e vid (fun x -> Domain.mem x csd)
+              | _ -> assert false)
+            extras;
+          for k = 0 to e.n_changed - 1 do
+            push_watchers e e.changed.(k)
+          done;
+          run_queue e
+        with Wipeout ->
+          Obs.Counter.incr c_wipeouts;
+          q_clear e;
+          false
+      in
+      if ok then Some (cp, e.store) else None
+    end
+  end
+  else begin
+    (* Non-[In] extras: compile the extended problem outright. Such
+       problems are one-shot, so they do not enter the cache. *)
+    let cp = compile ~exact_limit problem in
+    if cp.root_ok then Some (cp, cp.root_words) else None
   end
 
-let revise_nary doms changed v vs ~identity ~op ~inv_lo ~inv_hi =
-  (* Generic bounds propagation for v = fold op over vs, with op monotone
-     and all domains non-negative. [inv_lo]/[inv_hi] compute the bounds of
-     one operand given bounds of v and the aggregate of the others. *)
-  let lo_all = Array.fold_left (fun acc x -> op acc (Domain.min_value doms.(x))) identity vs in
-  let hi_all = Array.fold_left (fun acc x -> op acc (Domain.max_value doms.(x))) identity vs in
-  set_dom doms changed v (Domain.filter (fun x -> x >= lo_all && x <= hi_all) doms.(v));
-  let v_lo = Domain.min_value doms.(v) and v_hi = Domain.max_value doms.(v) in
-  Array.iteri
-    (fun i x ->
-      let others_lo = ref identity and others_hi = ref identity in
-      Array.iteri
-        (fun j y ->
-          if i <> j then begin
-            others_lo := op !others_lo (Domain.min_value doms.(y));
-            others_hi := op !others_hi (Domain.max_value doms.(y))
-          end)
-        vs;
-      let lo = inv_lo v_lo !others_hi and hi = inv_hi v_hi !others_lo in
-      set_dom doms changed x (Domain.filter (fun a -> a >= lo && a <= hi) doms.(x)))
-    vs
-
-let revise_prod ~exact_limit doms changed v vs =
-  match vs with
-  | [| x |] ->
-      let d = Domain.inter doms.(v) doms.(x) in
-      set_dom doms changed v d;
-      set_dom doms changed x d
-  | [| a; b |] when Domain.size doms.(a) * Domain.size doms.(b) <= exact_limit ->
-      (* Every filter below reads the live domains: [v], [a] and [b] may
-         alias the same variable, and filtering a stale snapshot can
-         resurrect values pruned moments earlier, making the fixpoint
-         oscillate forever (e.g. v = x * v with 0 in both domains). *)
-      let products = ref [] in
-      Domain.iter
-        (fun x -> Domain.iter (fun y -> products := (x * y) :: !products) doms.(b))
-        doms.(a);
-      set_dom doms changed v (Domain.inter doms.(v) (Domain.of_list !products));
-      let keep_a x =
-        Domain.fold (fun acc y -> acc || Domain.mem (x * y) doms.(v)) false doms.(b)
-      in
-      set_dom doms changed a (Domain.filter keep_a doms.(a));
-      let keep_b y =
-        Domain.fold (fun acc x -> acc || Domain.mem (x * y) doms.(v)) false doms.(a)
-      in
-      set_dom doms changed b (Domain.filter keep_b doms.(b))
-  | _ ->
-      revise_nary doms changed v vs ~identity:1 ~op:( * )
-        ~inv_lo:(fun v_lo others_hi -> if others_hi = 0 then 0 else (v_lo + others_hi - 1) / others_hi)
-        ~inv_hi:(fun v_hi others_lo -> if others_lo = 0 then max_int else v_hi / others_lo)
-
-let revise_sum ~exact_limit doms changed v vs =
-  match vs with
-  | [| x |] ->
-      let d = Domain.inter doms.(v) doms.(x) in
-      set_dom doms changed v d;
-      set_dom doms changed x d
-  | [| a; b |] when Domain.size doms.(a) * Domain.size doms.(b) <= exact_limit ->
-      (* Live reads throughout, for the same aliasing reason as in
-         [revise_prod]. *)
-      let sums = ref [] in
-      Domain.iter
-        (fun x -> Domain.iter (fun y -> sums := (x + y) :: !sums) doms.(b))
-        doms.(a);
-      set_dom doms changed v (Domain.inter doms.(v) (Domain.of_list !sums));
-      let keep_a x =
-        Domain.fold (fun acc y -> acc || Domain.mem (x + y) doms.(v)) false doms.(b)
-      in
-      set_dom doms changed a (Domain.filter keep_a doms.(a));
-      let keep_b y =
-        Domain.fold (fun acc x -> acc || Domain.mem (x + y) doms.(v)) false doms.(a)
-      in
-      set_dom doms changed b (Domain.filter keep_b doms.(b))
-  | _ ->
-      revise_nary doms changed v vs ~identity:0 ~op:( + )
-        ~inv_lo:(fun v_lo others_hi -> v_lo - others_hi)
-        ~inv_hi:(fun v_hi others_lo -> v_hi - others_lo)
-
-let revise_sel doms changed v u vs =
-  let n = Array.length vs in
-  (* Index domain: valid positions whose source still intersects v. *)
-  let du =
-    Domain.filter
-      (fun i -> i >= 0 && i < n && not (Domain.is_empty (Domain.inter doms.(v) doms.(vs.(i)))))
-      doms.(u)
-  in
-  set_dom doms changed u du;
-  (* v must lie in the union of the still-selectable sources. *)
-  let union =
-    Domain.fold (fun acc i -> Domain.union acc doms.(vs.(i))) Domain.empty doms.(u)
-  in
-  set_dom doms changed v (Domain.inter doms.(v) union);
-  match Domain.value doms.(u) with
-  | Some i ->
-      let d = Domain.inter doms.(v) doms.(vs.(i)) in
-      set_dom doms changed v d;
-      set_dom doms changed vs.(i) d
-  | None -> ()
-
-let revise ~exact_limit doms changed = function
-  | CProd (v, vs) -> revise_prod ~exact_limit doms changed v vs
-  | CSum (v, vs) -> revise_sum ~exact_limit doms changed v vs
-  | CEq (a, b) ->
-      let d = Domain.inter doms.(a) doms.(b) in
-      set_dom doms changed a d;
-      set_dom doms changed b d
-  | CLe (a, b) ->
-      let hi = Domain.max_value doms.(b) in
-      set_dom doms changed a (Domain.filter (fun x -> x <= hi) doms.(a));
-      let lo = Domain.min_value doms.(a) in
-      set_dom doms changed b (Domain.filter (fun x -> x >= lo) doms.(b))
-  | CIn (v, cs) -> set_dom doms changed v (Domain.inter doms.(v) cs)
-  | CSel (v, u, vs) -> revise_sel doms changed v u vs
-
-(* Fixpoint propagation seeded with the given constraint ids. Returns
-   [false] on wipeout. *)
-let propagate compiled doms seed =
-  let nc = Array.length compiled.ics in
-  let in_queue = Array.make nc false in
-  let queue = Queue.create () in
-  let push ci =
-    if not in_queue.(ci) then begin
-      in_queue.(ci) <- true;
-      Queue.push ci queue
-    end
-  in
-  List.iter push seed;
-  try
-    while not (Queue.is_empty queue) do
-      Obs.Counter.incr c_revise;
-      let ci = Queue.pop queue in
-      in_queue.(ci) <- false;
-      let changed = ref [] in
-      revise ~exact_limit:compiled.exact_limit doms changed compiled.ics.(ci);
-      List.iter (fun vid -> List.iter push compiled.watchers.(vid)) !changed
-    done;
-    Obs.Counter.incr c_propagate;
-    true
-  with Wipeout ->
-    Obs.Counter.incr c_wipeouts;
-    false
-
-let all_cons compiled = List.init (Array.length compiled.ics) (fun i -> i)
-
-let extract compiled doms =
+let extract e =
   let bindings = ref [] in
   Array.iteri
     (fun i name ->
-      match Domain.value doms.(i) with
+      match d_value e i with
       | Some v -> bindings := (name, v) :: !bindings
       | None -> invalid_arg "Solver.extract: non-singleton domain")
-    compiled.names;
+    e.cp.names;
   Assignment.of_list !bindings
 
 exception Give_up
 
-let search ?(max_fails = 4000) ~stats rng compiled doms0 =
+(* Stable move-to-front: same ordering as consing the bias value onto the
+   shuffled list with the old engine. *)
+let move_to_front values x =
+  let j = ref (-1) in
+  Array.iteri (fun i v -> if !j < 0 && v = x then j := i) values;
+  let j = !j in
+  if j > 0 then begin
+    for i = j downto 1 do
+      values.(i) <- values.(i - 1)
+    done;
+    values.(0) <- x
+  end
+
+(* Unified randomized DFS: [search_biased] of the old engine is the
+   [?bias] case. Branching singletons and every propagation write are
+   trail-recorded; a failed branch is undone by rewinding to its mark. *)
+let search ?(max_fails = 4000) ?bias ~stats rng e =
+  let cp = e.cp in
   let fails = ref 0 in
-  let pick_var doms =
+  let pick_var () =
     (* Smallest open domain, random tie-break. *)
     let best = ref (-1) and best_size = ref max_int and ties = ref 0 in
-    Array.iteri
-      (fun i d ->
-        let s = Domain.size d in
-        if s > 1 then
-          if s < !best_size then begin
-            best := i;
-            best_size := s;
-            ties := 1
-          end
-          else if s = !best_size then begin
-            incr ties;
-            if Rng.int rng !ties = 0 then best := i
-          end)
-      doms;
+    for i = 0 to cp.nvars - 1 do
+      let s = d_size e i in
+      if s > 1 then
+        if s < !best_size then begin
+          best := i;
+          best_size := s;
+          ties := 1
+        end
+        else if s = !best_size then begin
+          incr ties;
+          if Rng.int rng !ties = 0 then best := i
+        end
+    done;
     if !best < 0 then None else Some !best
   in
-  let rec dfs doms =
+  let assign vid x =
+    let l = cp.layouts.(vid) in
+    let bit = Bitdom.index_of l.values x in
+    for wi = 0 to l.nw - 1 do
+      let w =
+        if wi = bit / Bitdom.bits_per_word then 1 lsl (bit mod Bitdom.bits_per_word) else 0
+      in
+      write_word e (l.off + wi) w
+    done
+  in
+  let rec dfs () =
     stats.nodes <- stats.nodes + 1;
     Obs.Counter.incr c_nodes;
-    match pick_var doms with
-    | None -> Some (extract compiled doms)
+    match pick_var () with
+    | None -> Some (extract e)
     | Some vid ->
-        let values = Array.of_list (Domain.to_list doms.(vid)) in
+        let values = live_values e vid in
         Rng.shuffle rng values;
+        (match bias with
+        | Some b -> (
+            match Assignment.find_opt b cp.names.(vid) with
+            | Some v when d_mem e vid v -> move_to_front values v
+            | _ -> ())
+        | None -> ());
         let rec try_values i =
           if i >= Array.length values then None
           else begin
-            let doms' = Array.copy doms in
-            doms'.(vid) <- Domain.singleton values.(i);
-            let ok = propagate compiled doms' compiled.watchers.(vid) in
-            let result = if ok then dfs doms' else None in
+            let mark = e.tr_len in
+            assign vid values.(i);
+            push_watchers e vid;
+            let ok = run_queue e in
+            let result = if ok then dfs () else None in
             match result with
             | Some _ as r -> r
             | None ->
+                undo_to e mark;
                 stats.fails <- stats.fails + 1;
                 Obs.Counter.incr c_fails;
                 incr fails;
@@ -289,164 +724,161 @@ let search ?(max_fails = 4000) ~stats rng compiled doms0 =
         in
         try_values 0
   in
-  try dfs doms0 with Give_up -> None
+  try dfs () with Give_up -> None
+
+let solve_prepared ~max_fails ~max_restarts ~stats ?bias rng cp start =
+  let e = make_engine cp start in
+  e.trailing <- true;
+  let rec attempt k =
+    if k > max_restarts then None
+    else begin
+      if k > 0 then begin
+        stats.restarts <- stats.restarts + 1;
+        Obs.Counter.incr c_restarts;
+        reset e start
+      end;
+      match search ~max_fails ?bias ~stats rng e with
+      | Some a -> Some a
+      | None -> attempt (k + 1)
+    end
+  in
+  let r = attempt 0 in
+  finish_engine e;
+  r
 
 let solve ?(max_fails = 4000) ?(max_restarts = 8) ?exact_limit ?stats rng problem =
   Obs.Counter.incr c_solve;
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  let compiled = compile ?exact_limit problem in
-  let root = Array.copy compiled.init_domains in
-  if not (propagate compiled root (all_cons compiled)) then None
-  else
-    let rec attempt k =
-      if k > max_restarts then None
-      else begin
-        if k > 0 then begin
-          stats.restarts <- stats.restarts + 1;
-          Obs.Counter.incr c_restarts
-        end;
-        match search ~max_fails ~stats rng compiled (Array.copy root) with
-        | Some a -> Some a
-        | None -> attempt (k + 1)
-      end
-    in
-    attempt 0
+  match prepare ?exact_limit problem with
+  | None -> None
+  | Some (cp, start) -> solve_prepared ~max_fails ~max_restarts ~stats rng cp start
 
 (* Each draw runs on its own generator, split from the parent in index
    order before any search starts. Draw i is therefore a pure function of
    (parent state, i): executing the draws on a domain pool of any size —
-   or sequentially — yields byte-identical solution lists. *)
+   or sequentially — yields byte-identical solution lists. The template
+   is prepared once here; each task only allocates its own engine. *)
 let rand_sat ?(max_fails = 4000) ?exact_limit ?pool rng problem n =
-  let compiled = compile ?exact_limit problem in
-  let root = Array.copy compiled.init_domains in
-  if n <= 0 || not (propagate compiled root (all_cons compiled)) then []
-  else begin
-    let rngs = Rng.split_n rng n in
-    let draw task_rng =
-      Obs.Counter.incr c_draws;
-      let stats = fresh_stats () in
-      let rec go attempt =
-        if attempt >= 3 then None
-        else
-          match search ~max_fails ~stats task_rng compiled (Array.copy root) with
-          | Some _ as a -> a
-          | None -> go (attempt + 1)
-      in
-      go 0
-    in
-    Heron_util.Pool.map ?pool draw rngs |> Array.to_list |> List.filter_map Fun.id
-  end
+  if n <= 0 then []
+  else
+    match prepare ?exact_limit problem with
+    | None -> []
+    | Some (cp, start) ->
+        let rngs = Rng.split_n rng n in
+        let draw task_rng =
+          Obs.Counter.incr c_draws;
+          let stats = fresh_stats () in
+          let e = make_engine cp start in
+          e.trailing <- true;
+          let rec go attempt =
+            if attempt >= 3 then None
+            else
+              match search ~max_fails ~stats task_rng e with
+              | Some _ as a -> a
+              | None ->
+                  reset e start;
+                  go (attempt + 1)
+          in
+          let r = go 0 in
+          finish_engine e;
+          r
+        in
+        Heron_util.Pool.map ?pool draw rngs |> Array.to_list |> List.filter_map Fun.id
 
-(* Solve a batch of independent problems (one compile each) with per-task
-   split generators; same determinism contract as {!rand_sat}. *)
+(* Solve a batch of independent problems with per-task split generators;
+   same determinism contract as {!rand_sat}. Templates are prepared
+   sequentially in the caller (one compile + root propagation per
+   distinct base, cache hits for the rest), then searched on the pool. *)
 let solve_all ?(max_fails = 4000) ?(max_restarts = 8) ?exact_limit ?pool rng problems =
   let arr = Array.of_list problems in
   let rngs = Rng.split_n rng (Array.length arr) in
-  let task i = solve ~max_fails ~max_restarts ?exact_limit rngs.(i) arr.(i) in
+  let preps =
+    Array.map
+      (fun p ->
+        Obs.Counter.incr c_solve;
+        prepare ?exact_limit p)
+      arr
+  in
+  let task i =
+    match preps.(i) with
+    | None -> None
+    | Some (cp, start) ->
+        solve_prepared ~max_fails ~max_restarts ~stats:(fresh_stats ()) rngs.(i) cp start
+  in
   Heron_util.Pool.init ?pool (Array.length arr) task |> Array.to_list
 
 let propagate_domains problem =
-  let compiled = compile problem in
-  let doms = Array.copy compiled.init_domains in
-  if propagate compiled doms (all_cons compiled) then
-    Some (Array.to_list (Array.mapi (fun i name -> (name, doms.(i))) compiled.names))
-  else None
+  match prepare problem with
+  | None -> None
+  | Some (cp, start) ->
+      Some
+        (Array.to_list
+           (Array.mapi
+              (fun i name ->
+                let l = cp.layouts.(i) in
+                let vals = ref [] in
+                Bitdom.iter_bits
+                  (fun b -> vals := l.values.(b) :: !vals)
+                  start ~off:l.off ~nw:l.nw;
+                (name, Domain.of_list (List.rev !vals)))
+              cp.names))
 
 let enumerate ?(limit = 10_000) problem =
-  let compiled = compile problem in
-  let doms0 = Array.copy compiled.init_domains in
-  if not (propagate compiled doms0 (all_cons compiled)) then []
-  else begin
-    let out = ref [] and count = ref 0 in
-    let rec dfs doms =
-      if !count >= limit then ()
-      else begin
-        let open_var = ref (-1) in
-        (try
-           Array.iteri
-             (fun i d ->
-               if Domain.size d > 1 then begin
+  match prepare problem with
+  | None -> []
+  | Some (cp, start) ->
+      let e = make_engine cp start in
+      e.trailing <- true;
+      let out = ref [] and count = ref 0 in
+      let rec dfs () =
+        if !count >= limit then ()
+        else begin
+          let open_var = ref (-1) in
+          (try
+             for i = 0 to cp.nvars - 1 do
+               if d_size e i > 1 then begin
                  open_var := i;
                  raise Exit
-               end)
-             doms
-         with Exit -> ());
-        if !open_var < 0 then begin
-          out := extract compiled doms :: !out;
-          incr count
-        end
-        else
-          let vid = !open_var in
-          Domain.iter
-            (fun v ->
-              let doms' = Array.copy doms in
-              doms'.(vid) <- Domain.singleton v;
-              if propagate compiled doms' compiled.watchers.(vid) then dfs doms')
-            doms.(vid)
-      end
-    in
-    dfs doms0;
-    List.rev !out
-  end
-
-let search_biased ?(max_fails = 4000) ~stats rng compiled doms0 bias =
-  let fails = ref 0 in
-  let pick_var doms =
-    let best = ref (-1) and best_size = ref max_int and ties = ref 0 in
-    Array.iteri
-      (fun i d ->
-        let s = Domain.size d in
-        if s > 1 then
-          if s < !best_size then begin
-            best := i;
-            best_size := s;
-            ties := 1
+               end
+             done
+           with Exit -> ());
+          if !open_var < 0 then begin
+            out := extract e :: !out;
+            incr count
           end
-          else if s = !best_size then begin
-            incr ties;
-            if Rng.int rng !ties = 0 then best := i
-          end)
-      doms;
-    if !best < 0 then None else Some !best
-  in
-  let rec dfs doms =
-    stats.nodes <- stats.nodes + 1;
-    Obs.Counter.incr c_nodes;
-    match pick_var doms with
-    | None -> Some (extract compiled doms)
-    | Some vid ->
-        let dom_values = Array.of_list (Domain.to_list doms.(vid)) in
-        Rng.shuffle rng dom_values;
-        let values =
-          match Assignment.find_opt bias compiled.names.(vid) with
-          | Some v when Domain.mem v doms.(vid) ->
-              Array.of_list (v :: List.filter (fun x -> x <> v) (Array.to_list dom_values))
-          | _ -> dom_values
-        in
-        let rec try_values i =
-          if i >= Array.length values then None
           else begin
-            let doms' = Array.copy doms in
-            doms'.(vid) <- Domain.singleton values.(i);
-            let ok = propagate compiled doms' compiled.watchers.(vid) in
-            let result = if ok then dfs doms' else None in
-            match result with
-            | Some _ as r -> r
-            | None ->
-                stats.fails <- stats.fails + 1;
-                Obs.Counter.incr c_fails;
-                incr fails;
-                if !fails > max_fails then raise Give_up;
-                try_values (i + 1)
+            let vid = !open_var in
+            let l = cp.layouts.(vid) in
+            Array.iter
+              (fun v ->
+                let mark = e.tr_len in
+                let bit = Bitdom.index_of l.values v in
+                for wi = 0 to l.nw - 1 do
+                  let w =
+                    if wi = bit / Bitdom.bits_per_word then
+                      1 lsl (bit mod Bitdom.bits_per_word)
+                    else 0
+                  in
+                  write_word e (l.off + wi) w
+                done;
+                push_watchers e vid;
+                if run_queue e then dfs ();
+                undo_to e mark)
+              (live_values e vid)
           end
-        in
-        try_values 0
-  in
-  try dfs doms0 with Give_up -> None
+        end
+      in
+      dfs ();
+      finish_engine e;
+      List.rev !out
 
 let solve_biased ?(max_fails = 4000) rng problem bias =
   let stats = fresh_stats () in
-  let compiled = compile problem in
-  let root = Array.copy compiled.init_domains in
-  if not (propagate compiled root (all_cons compiled)) then None
-  else search_biased ~max_fails ~stats rng compiled root bias
+  match prepare problem with
+  | None -> None
+  | Some (cp, start) ->
+      let e = make_engine cp start in
+      e.trailing <- true;
+      let r = search ~max_fails ~bias ~stats rng e in
+      finish_engine e;
+      r

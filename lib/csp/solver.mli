@@ -3,7 +3,19 @@
     The solver combines fixpoint constraint propagation (bounds reasoning
     for n-ary PROD/SUM, exact support pruning for binary ones) with a
     randomized backtracking search, giving the paper's [RandSAT]: draw
-    random valid assignments of a CSP without enumerating the space. *)
+    random valid assignments of a CSP without enumerating the space.
+
+    Internally each problem is lowered once to a compiled template
+    (bitset domain layout, watcher lists, propagated root fixpoint) that
+    an LRU cache keyed by problem physical identity reuses across
+    solves; [Problem.with_extra] offspring whose extras are all [In]
+    constraints share their base's template and re-propagate only what
+    the extras change. Search backtracks by trail rewinding rather than
+    domain copying. None of this is observable: results are byte
+    identical to a compile-per-solve engine (see [Solver_ref] and the
+    [engine] differential properties in [lib/check]), and cache traffic
+    shows up in the [solver.compiles] / [solver.compile_cache_hits] /
+    [solver.trail_pushes] counters documented in OBSERVABILITY.md. *)
 
 type stats = {
   mutable nodes : int;     (** search nodes explored *)

@@ -77,25 +77,37 @@ type ga_params = { pop_size : int; mutation_rate : float; elite : int }
 
 let default_ga_params = { pop_size = 24; mutation_rate = 0.05; elite = 4 }
 
+(* Cumulative weights plus a binary search per draw for the first slot
+   reaching the target, replacing the O(n) scan. Scores are non-negative
+   ([Env.score] is 0 or 1000/latency), so the cumulative array is
+   monotone and the leftmost match is exactly where the scan stopped.
+   RNG consumption is unchanged: one [Rng.float] per draw ([Rng.choice]
+   on degenerate all-zero totals). Unlike {!Cga.roulette}, rounding
+   shortfalls fall back to the FIRST element, as the scan always did. *)
 let uniform_roulette rng scored n =
   let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
-  Array.init n (fun _ ->
-      if total <= 0.0 then fst (Rng.choice rng scored)
-      else begin
+  if total <= 0.0 then Array.init n (fun _ -> fst (Rng.choice rng scored))
+  else begin
+    let m = Array.length scored in
+    let cum = Array.make m 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i (_, w) ->
+        acc := !acc +. w;
+        cum.(i) <- !acc)
+      scored;
+    Array.init n (fun _ ->
         let target = Rng.float rng *. total in
-        let acc = ref 0.0 and chosen = ref (fst scored.(0)) in
-        (try
-           Array.iter
-             (fun (a, w) ->
-               acc := !acc +. w;
-               if !acc >= target then begin
-                 chosen := a;
-                 raise Exit
-               end)
-             scored
-         with Exit -> ());
-        !chosen
-      end)
+        if cum.(m - 1) < target then fst scored.(0)
+        else begin
+          let lo = ref 0 and hi = ref (m - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if cum.(mid) >= target then hi := mid else lo := mid + 1
+          done;
+          fst scored.(!lo)
+        end)
+  end
 
 (* Single-point crossover over the declaration-ordered variable vector. *)
 let crossover rng problem a b =

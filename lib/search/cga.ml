@@ -69,29 +69,39 @@ let crossover_csps ?(mutation = true) rng problem ~keys ~parents ~n =
         in
         Problem.with_extra problem constraints)
 
-(* Roulette-wheel selection on predicted fitness scores. *)
+(* Roulette-wheel selection on predicted fitness scores. Weights are
+   strictly positive (the caller clamps predictions), so the cumulative
+   array is monotone and each draw is one [Rng.float] plus a binary
+   search for the first slot whose cumulative weight reaches the target —
+   the same slot the linear scan stopped at, in O(log n) per draw with
+   identical draw-for-draw RNG consumption. *)
 let roulette rng scored n =
   let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
   if total <= 0.0 then Array.init n (fun _ -> fst (Rng.choice rng scored))
-  else
+  else begin
+    let m = Array.length scored in
+    let cum = Array.make m 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i (_, w) ->
+        acc := !acc +. w;
+        cum.(i) <- !acc)
+      scored;
     Array.init n (fun _ ->
         let target = Rng.float rng *. total in
         (* Fall back to the LAST element: when floating-point rounding
            leaves the cumulative weight just below [target], the draw
            belongs to the final slot, not to [scored.(0)]. *)
-        let acc = ref 0.0
-        and chosen = ref (fst scored.(Array.length scored - 1)) in
-        (try
-           Array.iter
-             (fun (a, w) ->
-               acc := !acc +. w;
-               if !acc >= target then begin
-                 chosen := a;
-                 raise Exit
-               end)
-             scored
-         with Exit -> ());
-        !chosen)
+        if cum.(m - 1) < target then fst scored.(m - 1)
+        else begin
+          let lo = ref 0 and hi = ref (m - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if cum.(mid) >= target then hi := mid else lo := mid + 1
+          done;
+          fst scored.(!lo)
+        end)
+  end
 
 let dedupe assignments =
   let seen = Hashtbl.create 64 in

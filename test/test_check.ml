@@ -18,7 +18,7 @@ let suite =
            (fun t ->
              (* The DLA/search groups build real spaces and run CGA: slow
                 by alcotest convention, skippable via ALCOTEST_QUICK. *)
-             let speed = if group = "diff" then `Quick else `Slow in
+             let speed = if group = "diff" || group = "engine" then `Quick else `Slow in
              Replay.to_alcotest ~speed ~seed t)
            tests)
 

@@ -301,6 +301,83 @@ let test_aliased_sum_terminates () =
          terminate without wiping out; search settles the rest. *)
       Alcotest.(check int) "two solutions" 2 (List.length (Solver.enumerate p))
 
+(* ---------- Bitset domains vs the sorted-array reference ---------- *)
+
+module Bitdom = Heron_csp.Bitdom
+module Obs = Heron_obs.Obs
+
+(* A pure pseudo-random predicate so both representations filter by the
+   exact same membership function. *)
+let pred_of seed v = (v * 2654435761 + seed) land 7 > 2
+
+let test_bitdom_matches_domain =
+  QCheck.Test.make ~name:"bitdom ops agree with Domain reference" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 80) (int_range 0 200)) small_int)
+    (fun (xs, seed) ->
+      let d = dl xs in
+      let b = Bitdom.of_domain d in
+      let n = Domain.size d in
+      (* Construction and the whole-universe queries. *)
+      Bitdom.to_list b = Domain.to_list d
+      && Bitdom.size b = n
+      && (not (Bitdom.is_empty b))
+      && Bitdom.min_value b = Domain.min_value d
+      && Bitdom.max_value b = Domain.max_value d
+      && List.for_all (fun v -> Bitdom.mem v b) (Domain.to_list d)
+      && (not (Bitdom.mem 201 b))
+      && Bitdom.value b = (if n = 1 then Some (List.hd xs) else None)
+      (* Filtering, intersection, iteration order. *)
+      &&
+      let p1 = pred_of seed and p2 = pred_of (seed + 1) in
+      let b1 = Bitdom.restrict p1 b and b2 = Bitdom.restrict p2 b in
+      Bitdom.to_list b1 = Domain.to_list (Domain.filter p1 d)
+      && Domain.to_list (Bitdom.to_domain b2) = Domain.to_list (Domain.filter p2 d)
+      && Bitdom.to_list (Bitdom.inter b1 b2)
+         = Domain.to_list (Domain.inter (Domain.filter p1 d) (Domain.filter p2 d))
+      && (let seen = ref [] in
+          Bitdom.iter (fun v -> seen := v :: !seen) b1;
+          List.rev !seen = Bitdom.to_list b1)
+      && Bitdom.fold (fun acc _ -> acc + 1) 0 b1 = Bitdom.size b1
+      (* Slice primitives underneath: the live words of a full domain are
+         exactly [fill], and cardinality/extrema come from the words. *)
+      &&
+      let nw = Bitdom.nwords n in
+      let fresh = Array.make nw 0 in
+      Bitdom.fill fresh ~off:0 ~n;
+      Bitdom.equal_slices fresh 0 b.Bitdom.words 0 ~nw
+      && Bitdom.popcount b1.Bitdom.words ~off:0 ~nw = Bitdom.size b1
+      && Bitdom.is_empty_slice b1.Bitdom.words ~off:0 ~nw = Bitdom.is_empty b1
+      && (Bitdom.is_empty b1
+         || Bitdom.min_bit b1.Bitdom.words ~off:0 ~nw
+            = Bitdom.index_of b.Bitdom.values (Bitdom.min_value b1)
+            && Bitdom.max_bit b1.Bitdom.words ~off:0 ~nw
+               = Bitdom.index_of b.Bitdom.values (Bitdom.max_value b1)))
+
+(* ---------- Compiled-template cache ---------- *)
+
+(* Re-solving the same physical problem reuses its compiled template; a
+   structurally equal but physically fresh problem does not. *)
+let test_compile_cache () =
+  let hits () = Obs.Counter.value (Obs.Counter.make "solver.compile_cache_hits") in
+  let compiles () = Obs.Counter.value (Obs.Counter.make "solver.compiles") in
+  let p = chain_problem () in
+  ignore (Solver.solve (Rng.create 3) p);
+  let h0 = hits () in
+  for i = 0 to 4 do
+    Alcotest.(check bool) "solution found" true (Solver.solve (Rng.create i) p <> None)
+  done;
+  Alcotest.(check bool) "repeat solves hit the template cache" true (hits () >= h0 + 5);
+  let h1 = hits () and c1 = compiles () in
+  ignore (Solver.solve (Rng.create 3) (chain_problem ()));
+  Alcotest.(check int) "fresh problem misses the cache" h1 (hits ());
+  Alcotest.(check bool) "fresh problem compiles" true (compiles () > c1);
+  (* with_extra offspring reuse the base template rather than recompiling. *)
+  let c2 = compiles () and h2 = hits () in
+  let o = Problem.with_extra p [ Cons.In ("x", [ 1; 2; 3 ]) ] in
+  Alcotest.(check bool) "offspring solvable" true (Solver.solve (Rng.create 9) o <> None);
+  Alcotest.(check int) "offspring reuses base template" c2 (compiles ());
+  Alcotest.(check bool) "offspring lookup is a cache hit" true (hits () > h2)
+
 let qtest t =
   Heron_check.Replay.to_alcotest ~seed:(Heron_check.Replay.seed_from_env ()) t
 
@@ -331,4 +408,6 @@ let suite =
       test_aliased_prod_terminates;
     Alcotest.test_case "aliased SUM terminates (regression)" `Quick
       test_aliased_sum_terminates;
+    qtest test_bitdom_matches_domain;
+    Alcotest.test_case "compile cache reuse" `Quick test_compile_cache;
   ]

@@ -353,6 +353,9 @@ let deterministic_counters =
     "solver.fails";
     "solver.rand_sat_draws";
     "solver.solve_calls";
+    "solver.compiles";
+    "solver.compile_cache_hits";
+    "solver.trail_pushes";
     "cga.iterations";
     "cga.generations";
     "cga.offspring_attempted";
