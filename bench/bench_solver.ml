@@ -118,8 +118,6 @@ let () =
       (per_sec new_nodes new_time /. Float.max (per_sec ref_nodes ref_time) 1e-9)
       (100.0 *. (1.0 -. (new_time /. Float.max ref_time 1e-9)))
   in
-  let oc = open_out "BENCH_solver.json" in
-  output_string oc json;
-  close_out oc;
+  Heron_util.Atomic_io.write_string ~path:"BENCH_solver.json" json;
   print_string json;
   print_endline "wrote BENCH_solver.json"

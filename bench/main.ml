@@ -235,9 +235,7 @@ let run_quick () =
       eval1 eval4 refit1 refit4 (speedup eval1 eval4) (speedup refit1 refit4)
       combined
   in
-  let oc = open_out "BENCH_parallel.json" in
-  output_string oc json;
-  close_out oc;
+  Heron_util.Atomic_io.write_string ~path:"BENCH_parallel.json" json;
   print_string json;
   Printf.printf "wrote BENCH_parallel.json (host reports %d domains)\n"
     (Domain.recommended_domain_count ())

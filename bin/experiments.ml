@@ -53,6 +53,27 @@ let metrics_arg =
     value & flag
     & info [ "metrics" ] ~doc:"Print solver/search/pool counter totals when done.")
 
+let faults_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic measurement-fault injection for every tuning run: \
+           $(b,off), or comma-separated key=value pairs over seed, \
+           timeout, crash, hang, noise, persistent. See heron_tune \
+           --help.")
+
+(* Install the parsed fault spec as the process default so every
+   Pipeline.tune under [f] picks it up. *)
+let with_faults spec f =
+  match Heron_dla.Faults.parse spec with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok s ->
+      Heron_dla.Faults.set_default s;
+      Fun.protect ~finally:(fun () -> Heron_dla.Faults.set_default None) f
+
 (* Wrap one experiment run in the journal (when --trace) and the metrics
    dump (when --metrics). *)
 let with_obs ~seed ~budget ~jobs trace metrics f =
@@ -69,11 +90,12 @@ let no_arg_cmd name doc f =
 let budgeted_cmd name doc default f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun budget seed jobs trace metrics ->
-          with_jobs jobs (fun () ->
-              with_obs ~seed ~budget:(Some budget) ~jobs trace metrics (fun () ->
-                  print (f ~budget ~seed ()))))
-      $ budget_arg default $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      const (fun budget seed jobs trace metrics faults ->
+          with_faults faults (fun () ->
+              with_jobs jobs (fun () ->
+                  with_obs ~seed ~budget:(Some budget) ~jobs trace metrics (fun () ->
+                      print (f ~budget ~seed ())))))
+      $ budget_arg default $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ faults_arg)
 
 let fig11_cmd =
   Cmd.v (Cmd.info "fig11" ~doc:"Search-space quality heat maps (Heron vs AutoTVM).")
@@ -84,7 +106,8 @@ let fig11_cmd =
       $ samples_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 let all_cmd =
-  let run budget seed jobs trace metrics =
+  let run budget seed jobs trace metrics faults =
+    with_faults faults @@ fun () ->
     with_jobs jobs @@ fun () ->
     with_obs ~seed ~budget:(Some budget) ~jobs trace metrics @@ fun () ->
     print (E.Exp_space.table4 ());
@@ -116,7 +139,7 @@ let all_cmd =
     print (E.Exp_time.fig14 ~budget:(min budget 120) ~seed ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (long).")
-    Term.(const run $ budget_arg 80 $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ budget_arg 80 $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ faults_arg)
 
 let cmds =
   [

@@ -30,7 +30,13 @@ let collect ~budget ~filter =
              else None)
            tests)
 
-let run budget seed filter list_only trace metrics =
+let run budget seed filter list_only trace metrics faults =
+  match Heron_dla.Faults.parse faults with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok fault_spec ->
+  Heron_dla.Faults.set_default fault_spec;
   let tests = collect ~budget ~filter in
   if list_only then begin
     List.iter (fun (group, name, _) -> Printf.printf "%-8s %s\n" group name) tests;
@@ -110,7 +116,17 @@ let () =
       value & flag
       & info [ "metrics" ] ~doc:"Print solver/search/pool counter totals when done.")
   in
-  let term = Term.(const run $ budget $ seed $ filter $ list_only $ trace $ metrics) in
+  let faults =
+    Arg.(
+      value & opt string "off"
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic measurement-fault injection installed as the \
+             process default for every search-level property: $(b,off), or \
+             comma-separated key=value pairs over seed, timeout, crash, \
+             hang, noise, persistent. See heron_tune --help.")
+  in
+  let term = Term.(const run $ budget $ seed $ filter $ list_only $ trace $ metrics $ faults) in
   let info =
     Cmd.info "fuzz"
       ~doc:"Property-based fuzzing campaigns for the Heron CSP solver, DLA layer and search."

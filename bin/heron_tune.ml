@@ -50,24 +50,37 @@ let op_of ~kind ~dims ~dt =
         "usage: gemm M N K | bmm B M N K | gemv M K | c1d N CI L CO KL S P | \
          c2d N CI H W CO KH KW S P | scan B L"
 
-let run dla kind dims dt trials seed jobs trace metrics =
+let run dla kind dims dt trials seed jobs trace metrics faults checkpoint resume kill_after =
   match desc_of_string dla with
   | Error e -> prerr_endline e; 2
   | Ok desc -> (
       match op_of ~kind ~dims ~dt with
       | Error e -> prerr_endline e; 2
       | Ok op ->
+          match Heron_dla.Faults.parse faults with
+          | Error e -> prerr_endline e; 2
+          | Ok fault_spec ->
+          Heron_dla.Faults.set_default fault_spec;
           Printf.printf "tuning %s on %s (%d trials, seed %d, %d jobs)\n%!"
             (Op.to_string op) desc.D.dname trials seed (max 1 jobs);
+          (match fault_spec with
+          | None -> ()
+          | Some s ->
+              Printf.printf "faults: %s\n%!" (Heron_dla.Faults.to_string s));
           let manifest =
             Obs.manifest ~tool:"heron_tune" ~seed ~descriptor:desc.D.dname
               ~op:(Op.to_string op) ~budget:trials ~jobs:(max 1 jobs) ()
           in
-          let tuned =
+          match
             Obs.with_trace trace manifest (fun () ->
                 with_jobs jobs (fun pool ->
-                    Heron.Pipeline.tune ~budget:trials ~seed ?pool desc op))
-          in
+                    Heron.Pipeline.tune ~budget:trials ~seed ?pool ?checkpoint ?resume
+                      ?kill_after desc op))
+          with
+          | exception Invalid_argument e ->
+              prerr_endline e;
+              2
+          | tuned ->
           if metrics then print_string (Obs.metrics_report ());
           Printf.printf "space: %s\n"
             (Heron.Stats.to_string (Heron.Stats.of_problem tuned.gen.problem));
@@ -125,8 +138,52 @@ let () =
       & info [ "metrics" ]
           ~doc:"Print solver/search/pool counter totals after tuning.")
   in
+  let faults =
+    Arg.(
+      value & opt string "off"
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic measurement-fault injection: $(b,off), or \
+             comma-separated key=value pairs over seed, timeout, crash, \
+             hang, noise, persistent (e.g. \
+             $(b,seed=1,timeout=0.1,crash=0.05,noise=0.2,persistent=0.05)). \
+             Faults are a pure function of the spec and each \
+             configuration, so campaigns are reproducible and identical \
+             for any --jobs value.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write an atomic checkpoint of the full search state to \
+             $(docv) after every exploration iteration; a killed run \
+             resumed with $(b,--resume) finishes byte-identically.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by $(b,--checkpoint). The \
+             run parameters (DLA, operator, trials, seed, faults) must \
+             match the checkpointed run.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: exit with status 3 (simulating a crash) after \
+             the N-th checkpoint write.")
+  in
   let term =
-    Term.(const run $ dla $ kind $ dims $ dt $ trials $ seed $ jobs $ trace $ metrics)
+    Term.(
+      const run $ dla $ kind $ dims $ dt $ trials $ seed $ jobs $ trace $ metrics $ faults
+      $ checkpoint $ resume $ kill_after)
   in
   let info = Cmd.info "heron_tune" ~doc:"Tune one operator with Heron on a simulated DLA." in
   exit (Cmd.eval' (Cmd.v info term))

@@ -11,3 +11,16 @@
 val tests : ?count:int -> unit -> QCheck.Test.t list
 (** [count] cases per property (default 20); the CGA end-to-end property
     runs [max 1 (count / 3)] cases. *)
+
+(** {2 Shared fixtures} (also used by {!Fault_props}) *)
+
+val toy_problem : unit -> Heron_csp.Problem.t
+(** A small fixed satisfiable problem for end-to-end CGA runs: [c = a * b]
+    with power-of-two domains, the shape of a tiling sub-space. *)
+
+val hash_measure : Heron_csp.Assignment.t -> float option
+(** Deterministic configuration-dependent "latency": a pure hash of the
+    assignment, so any trace divergence is the search's fault alone. *)
+
+val small_params : Heron_search.Cga.params
+(** CGA parameters scaled down for property-test budgets. *)

@@ -5,4 +5,5 @@ let all ~budget =
     ("engine", Engine_diff.tests ~count:(at budget) ());
     ("dla", Dla_props.tests ~count:(at (budget / 8)) ());
     ("search", Search_props.tests ~count:(at (budget / 15)) ());
+    ("fault", Fault_props.tests ~count:(at (budget / 15)) ());
   ]

@@ -4,8 +4,11 @@ module Concrete = Heron_sched.Concrete
 module Descriptor = Heron_dla.Descriptor
 module Measure = Heron_dla.Measure
 module Perf_model = Heron_dla.Perf_model
+module Faults = Heron_dla.Faults
 module Env = Heron_search.Env
 module Cga = Heron_search.Cga
+module Resilience = Heron_search.Resilience
+module Checkpoint = Heron_search.Checkpoint
 module Rng = Heron_util.Rng
 
 type tuned = {
@@ -29,11 +32,67 @@ let make_env ?reps ?(seed = 42) desc gen =
   let measure, _count = make_measure ?reps desc gen in
   { Env.problem = gen.Generator.problem; measure; rng = Rng.create seed }
 
-let tune ?(budget = 200) ?(seed = 42) ?reps ?params ?pool desc op =
+(* One resilient measurement attempt: ask the fault injector what happens
+   to this (config, attempt), then either report the fault or run the real
+   measurer and scale its latency by the (possibly 1.0) noise factor. A
+   persistently-failing config crashes on every attempt, so it exhausts
+   its retries and lands in quarantine. *)
+let make_attempt_measure measure spec a ~attempt =
+  let key = Assignment.key a in
+  match Faults.decide spec ~key ~attempt with
+  | Faults.Timeout -> Resilience.Fault Resilience.Timeout
+  | Faults.Crash | Faults.Persistent -> Resilience.Fault Resilience.Crash
+  | Faults.Hang -> Resilience.Fault Resilience.Hang
+  | Faults.Noise factor -> (
+      match measure a with
+      | None -> Resilience.Invalid
+      | Some l -> Resilience.Measured (l *. factor))
+
+let run_label desc op ~budget ~seed ~faults =
+  Printf.sprintf "%s|%s|budget=%d|seed=%d|faults=%s" desc.Descriptor.dname (Op.to_string op)
+    budget seed
+    (match faults with None -> "off" | Some s -> Faults.to_string s)
+
+let tune ?(budget = 200) ?(seed = 42) ?reps ?params ?pool ?faults ?policy ?checkpoint ?resume
+    ?kill_after desc op =
+  let faults = Faults.resolve faults in
   let gen = Generator.generate ~seed desc op in
   let measure, count = make_measure ?reps desc gen in
   let env = { Env.problem = gen.Generator.problem; measure; rng = Rng.create seed } in
-  let outcome = Cga.run ?params ?pool env ~budget in
+  let resilience =
+    match faults with
+    | None -> None
+    | Some spec -> Some (Env.Recorder.make_resilience ?policy (make_attempt_measure measure spec))
+  in
+  let label = run_label desc op ~budget ~seed ~faults in
+  let resume =
+    match resume with
+    | None -> None
+    | Some path -> (
+        match Checkpoint.load ~path with
+        | Error e -> invalid_arg e
+        | Ok (file_label, snap) ->
+            if file_label <> label then
+              invalid_arg
+                (Printf.sprintf
+                   "checkpoint: %s belongs to a different run (file label %S, this run %S)" path
+                   file_label label)
+            else Some snap)
+  in
+  let on_snapshot =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+        let writes = ref 0 in
+        Some
+          (fun snap ->
+            Checkpoint.save ~path ~label snap;
+            incr writes;
+            (* Crash simulation for resilience tests: die (uncleanly, as a
+               crash would) after the Nth checkpoint write. *)
+            match kill_after with Some n when !writes >= n -> exit 3 | _ -> ())
+  in
+  let outcome = Cga.run ?params ?pool ?resilience ?resume ?on_snapshot env ~budget in
   { gen; outcome; desc; op; measurements = count () }
 
 let best_latency_us t = t.outcome.Cga.result.Env.best_latency

@@ -24,12 +24,35 @@ val make_measure :
 
 val make_env : ?reps:int -> ?seed:int -> Descriptor.t -> Generator.t -> Env.t
 
+val make_attempt_measure :
+  (Assignment.t -> float option) ->
+  Heron_dla.Faults.spec ->
+  Assignment.t ->
+  attempt:int ->
+  Heron_search.Resilience.attempt
+(** Compose a base measurer with a fault injector into one resilient
+    measurement attempt: the injector decides (purely, from the config
+    key and attempt number) whether this attempt times out, crashes,
+    hangs, or proceeds with a noise factor applied to the measured
+    latency. Persistent faults crash every attempt, so those configs end
+    up quarantined. *)
+
+val run_label :
+  Descriptor.t -> Op.t -> budget:int -> seed:int -> faults:Heron_dla.Faults.spec option -> string
+(** The identity of a tuning run for checkpoint label checks: DLA name,
+    operator, budget, seed and canonical fault spec. *)
+
 val tune :
   ?budget:int ->
   ?seed:int ->
   ?reps:int ->
   ?params:Cga.params ->
   ?pool:Heron_util.Pool.t ->
+  ?faults:Heron_dla.Faults.spec ->
+  ?policy:Heron_search.Resilience.policy ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?kill_after:int ->
   Descriptor.t ->
   Op.t ->
   tuned
@@ -37,7 +60,23 @@ val tune :
     CGA under the given measurement budget (default 200). [?pool] (or the
     process default pool) parallelizes measurement batches, CSP solving
     and cost-model training without changing the result for a fixed
-    seed. *)
+    seed.
+
+    [?faults] (or the process default, {!Heron_dla.Faults.set_default})
+    injects deterministic measurement faults; the search then runs behind
+    the {!Heron_search.Resilience} retry/quarantine/degradation layer
+    under [?policy]. Without a fault spec the pipeline is byte-identical
+    to previous behavior.
+
+    [?checkpoint] writes an atomic checkpoint of the full search state to
+    the given path at every exploration iteration; [?resume] restores one
+    (refusing a checkpoint whose label does not match this run) and
+    continues byte-identically to an uninterrupted run. [?kill_after n]
+    is a crash simulation hook for tests: the process exits with status 3
+    after the [n]th checkpoint write.
+
+    @raise Invalid_argument when [?resume] names an unreadable, invalid,
+    or mismatched checkpoint. *)
 
 val best_latency_us : tuned -> float option
 val best_tflops : tuned -> float option

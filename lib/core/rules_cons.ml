@@ -18,12 +18,6 @@ let combine ?cap op d1 d2 =
     d1;
   Domain.of_list (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
 
-let aux_counter = ref 0
-
-let fresh_aux prefix =
-  incr aux_counter;
-  Printf.sprintf "%s#%d" prefix !aux_counter
-
 (* C1/C2: splits (and fuses, which record the same product shape). *)
 let apply_c1 (ctx : Gen_ctx.t) =
   List.iter
@@ -50,6 +44,15 @@ let apply_c4 (ctx : Gen_ctx.t) =
    (innermost padded by storage_align) times the element size; footprints
    are summed per scope and bounded by the capacity. *)
 let apply_c5 (ctx : Gen_ctx.t) =
+  (* Auxiliary names are numbered per invocation, not from a global
+     counter: variable names (and thus solver sampling, which hashes
+     them) must be a pure function of the context, or two generations in
+     one process would diverge. *)
+  let aux_counter = ref 0 in
+  let fresh_aux prefix =
+    incr aux_counter;
+    Printf.sprintf "%s#%d" prefix !aux_counter
+  in
   let cap_of scope = Descriptor.scope_capacity ctx.desc scope in
   let scopes =
     List.sort_uniq compare (List.map (fun c -> c.Gen_ctx.cf_scope) ctx.caches)

@@ -90,3 +90,10 @@ let key_variables t k =
     Array.to_list (Features.names t.features) |> List.filteri (fun i _ -> i < k)
 
 let n_samples t = t.count
+
+let samples t = t.data
+
+let restore t data =
+  t.data <- data;
+  t.count <- List.length data;
+  t.ensemble <- None

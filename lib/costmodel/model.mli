@@ -37,3 +37,13 @@ val key_variables : t -> int -> string list
     model is untrained. *)
 
 val n_samples : t -> int
+
+val samples : t -> (int array * float) list
+(** The stored training window, most recent first: binned feature vectors
+    paired with fitness scores. For checkpointing. *)
+
+val restore : t -> (int array * float) list -> unit
+(** Replace the training window with a checkpointed one (most recent
+    first) and drop the ensemble; the next {!refit} retrains it. Fitting
+    is deterministic in the samples, so restore + refit reproduces the
+    exact ensemble a checkpointed run had. *)

@@ -198,7 +198,10 @@ let start ~path m =
   (match Atomic.get current with
   | Some _ -> invalid_arg "Obs.start: a trace is already active"
   | None -> ());
-  let oc = open_out path in
+  (* The journal accumulates in [path ^ ".tmp"] and only lands at [path]
+     when [stop] closes it, so a killed run never leaves a truncated
+     journal where a reader expects a complete one. *)
+  let oc = open_out (path ^ ".tmp") in
   let baseline = Hashtbl.create 64 in
   List.iter (fun (name, v) -> Hashtbl.replace baseline name v) (Counter.snapshot ());
   let s =
@@ -247,7 +250,8 @@ let stop () =
         (Gauge.snapshot ());
       write_event s "trace_end" [ ("events", Json.Int (s.events + 1)) ];
       Atomic.set current None;
-      close_out_noerr s.oc
+      close_out_noerr s.oc;
+      (try Unix.rename (s.path ^ ".tmp") s.path with Unix.Unix_error _ -> ())
 
 let with_trace path m f =
   match path with

@@ -69,7 +69,9 @@ val manifest :
     walking up from the cwd, else ["unknown"]) and capturing [Sys.argv]. *)
 
 val start : path:string -> manifest -> unit
-(** Open the journal at [path] and write the manifest line. Records a
+(** Open the journal and write the manifest line. Events accumulate in
+    [path ^ ".tmp"]; {!stop} renames the finished journal to [path], so a
+    killed run never leaves a truncated journal at [path]. Records a
     baseline of all counters so the journal's counter events report deltas
     for this run only. Raises [Invalid_argument] if a trace is active. *)
 

@@ -47,6 +47,21 @@ type outcome = {
   time_measure_s : float;
 }
 
+(* Everything the exploration loop carries across an iteration boundary.
+   Restoring a snapshot and continuing is byte-identical to never having
+   stopped: the RNG state covers every stochastic choice, the recorder
+   export covers measurements/trace/quarantine, and the model ensemble is
+   reproduced from its samples because GBT fitting is deterministic. *)
+type snapshot = {
+  s_iter : int;
+  s_dry : int;
+  s_stopped : bool;
+  s_rng_hex : string;
+  s_recorder : Env.Recorder.export;
+  s_survivors : (Assignment.t * float) list;
+  s_model : (int array * float) list;
+}
+
 let crossover_csps ?(mutation = true) rng problem ~keys ~parents ~n =
   if Array.length parents < 2 then []
   else
@@ -115,15 +130,29 @@ let dedupe assignments =
       end)
     assignments
 
-let run ?(params = default_params) ?pool env ~budget =
+let run ?(params = default_params) ?pool ?resilience ?resume ?on_snapshot env ~budget =
   (* At small budgets, shrink the measurement batch so the cost model still
      sees several train/predict rounds. *)
   let params =
     { params with batch = min params.batch (max 4 (budget / 8)) }
   in
   let pool = Pool.resolve pool in
-  let rec_ = Env.Recorder.create env ~budget in
+  let rec_ =
+    match resume with
+    | None -> Env.Recorder.create ?resilience env ~budget
+    | Some s -> Env.Recorder.import ?resilience env ~budget s.s_recorder
+  in
   let model = Model.create env.Env.problem in
+  (* Degraded candidates fall back to the model's predicted latency; the
+     closure reads the live ensemble, so it tracks every refit. *)
+  (match resilience with
+  | None -> ()
+  | Some rz ->
+      Env.Recorder.set_fallback rz
+        (Some
+           (fun a ->
+             let s = Model.predict model a in
+             if s > 0.0 then Some (1000.0 /. s) else None)));
   let time_search = ref 0.0 and time_model = ref 0.0 and time_measure = ref 0.0 in
   let timed acc name f =
     Obs.with_span name (fun () ->
@@ -139,6 +168,36 @@ let run ?(params = default_params) ?pool env ~budget =
      effectively enumerated. *)
   let continue = ref true in
   let dry_iterations = ref 0 in
+  (match resume with
+  | None -> ()
+  | Some s ->
+      iter_no := s.s_iter;
+      dry_iterations := s.s_dry;
+      continue := not s.s_stopped;
+      survivors := s.s_survivors;
+      (match Rng.set_state_hex env.Env.rng s.s_rng_hex with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Cga.run: resume: " ^ e));
+      Model.restore model s.s_model;
+      (* Refit reproduces the checkpointed ensemble exactly: fitting is
+         deterministic in the samples, and the original run refit at the
+         end of every iteration that recorded new samples. *)
+      Model.refit ?pool model);
+  let emit_snapshot () =
+    match on_snapshot with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            s_iter = !iter_no;
+            s_dry = !dry_iterations;
+            s_stopped = not !continue;
+            s_rng_hex = Rng.state_hex env.Env.rng;
+            s_recorder = Env.Recorder.export rec_;
+            s_survivors = !survivors;
+            s_model = Model.samples model;
+          }
+  in
   while !continue && not (Env.Recorder.exhausted rec_) do
     incr iter_no;
     Obs.Counter.incr c_iterations;
@@ -230,6 +289,12 @@ let run ?(params = default_params) ?pool env ~budget =
               Env.Recorder.eval_batch ?pool rec_ chosen)
         in
         let measured = List.combine chosen latencies in
+        (* Degraded entries carry a cost-model prediction, not a
+           measurement: training on them would be a feedback loop, and
+           they must not seed survivors or the incumbent. *)
+        let measured =
+          List.filter (fun (a, _) -> not (Env.Recorder.degraded rec_ a)) measured
+        in
         (* Step 4: update the cost model on the measured scores. *)
         timed time_model "cga.model" (fun () ->
             List.iter (fun (a, l) -> Model.record model a (Env.score l)) measured;
@@ -242,7 +307,8 @@ let run ?(params = default_params) ?pool env ~budget =
           List.sort (fun (_, x) (_, y) -> compare x y) (valid @ !survivors)
           |> List.filteri (fun i _ -> i < params.survivors)
       end
-    end
+    end;
+    emit_snapshot ()
   done;
   {
     result = Env.Recorder.finish rec_;

@@ -35,11 +35,44 @@ type outcome = {
   time_measure_s : float;  (** DLA measurement time *)
 }
 
-val run : ?params:params -> ?pool:Heron_util.Pool.t -> Env.t -> budget:int -> outcome
+(** Everything the exploration loop carries across an iteration boundary,
+    for crash-safe checkpoint/resume (see {!Checkpoint} for the on-disk
+    format). Restoring a snapshot and continuing is byte-identical to a
+    run that never stopped. *)
+type snapshot = {
+  s_iter : int;  (** iterations completed *)
+  s_dry : int;  (** consecutive iterations without fresh candidates *)
+  s_stopped : bool;  (** the loop terminated (enumerated space) *)
+  s_rng_hex : string;  (** search RNG state, {!Heron_util.Rng.state_hex} *)
+  s_recorder : Env.Recorder.export;
+  s_survivors : (Assignment.t * float) list;
+  s_model : (int array * float) list;  (** cost-model training window *)
+}
+
+val run :
+  ?params:params ->
+  ?pool:Heron_util.Pool.t ->
+  ?resilience:Env.Recorder.resilience ->
+  ?resume:snapshot ->
+  ?on_snapshot:(snapshot -> unit) ->
+  Env.t ->
+  budget:int ->
+  outcome
 (** Explore under the measurement budget. With [?pool] (or a process
     default pool, see {!Heron_util.Pool.set_default}), the three hot
     phases — batch measurement, CSP sampling/crossover solving, and
     cost-model training/scoring — fan out across the pool's domains.
+
+    With [?resilience], every fresh measurement runs as a retry session
+    (see {!Env.Recorder}); the degraded-candidate fallback is wired to
+    this run's cost model, and degraded values are excluded from model
+    training and survivor selection.
+
+    [?on_snapshot] is invoked at the end of every exploration iteration
+    with the full loop state; [?resume] restarts from such a snapshot and
+    continues byte-identically to an uninterrupted run (the model
+    ensemble is rebuilt by one deterministic refit of the checkpointed
+    samples).
 
     Determinism: per-task generators are split from [env.rng] in index
     order and results always merge by task index, so a fixed seed yields a

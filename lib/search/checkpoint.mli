@@ -1,0 +1,22 @@
+(** Crash-safe checkpoints of a CGA exploration: a versioned JSON
+    rendering of {!Cga.snapshot}, written atomically (tmp + rename) so a
+    kill at any instant leaves either the previous checkpoint or the new
+    one, never a torn file.
+
+    The [label] ties a checkpoint to the run that produced it (operator,
+    budget, seed, fault spec ...): {!load} returns it so callers can
+    refuse to resume a checkpoint from a different campaign. *)
+
+val version : int
+
+val save : path:string -> label:string -> Cga.snapshot -> unit
+(** Atomic write: the JSON lands in [path ^ ".tmp"] and is renamed over
+    [path] only once complete. *)
+
+val load : path:string -> (string * Cga.snapshot, string) result
+(** Read back [(label, snapshot)]. All diagnostics name the offending
+    field, e.g. ["checkpoint: recorder.cache[3]: expected [key, latency]"]. *)
+
+val describe : string * Cga.snapshot -> string
+(** One-line human summary (label, iterations, steps, quarantined count)
+    for [trace_lint --checkpoint]. *)

@@ -30,9 +30,39 @@ module Recorder = struct
   let c_skips = Obs.Counter.make "env.budget_skips"
   let c_evictions = Obs.Counter.make "env.cache_evictions"
 
+  (* Resilience outcomes (all zero when no resilience layer is installed,
+     so fault-free runs emit no extra counter events). *)
+  let c_retries = Obs.Counter.make "env.retries"
+  let c_quarantined = Obs.Counter.make "env.quarantined"
+  let c_quarantine_hits = Obs.Counter.make "env.quarantine_hits"
+  let c_degraded = Obs.Counter.make "env.degraded"
+  let c_fault_timeouts = Obs.Counter.make "env.fault_timeouts"
+  let c_fault_crashes = Obs.Counter.make "env.fault_crashes"
+  let c_fault_hangs = Obs.Counter.make "env.fault_hangs"
+
+  type resilience = {
+    policy : Resilience.policy;
+    attempt_measure : Assignment.t -> attempt:int -> Resilience.attempt;
+    mutable predict : (Assignment.t -> float option) option;
+    quarantined : (string, unit) Hashtbl.t;
+    degraded : (string, unit) Hashtbl.t;
+  }
+
+  let make_resilience ?(policy = Resilience.default_policy) attempt_measure =
+    {
+      policy;
+      attempt_measure;
+      predict = None;
+      quarantined = Hashtbl.create 32;
+      degraded = Hashtbl.create 32;
+    }
+
+  let set_fallback rz predict = rz.predict <- predict
+
   type r = {
     env : t;
     budget : int;
+    resilience : resilience option;
     cache : (string, float option) Hashtbl.t;
     cache_cap : int;
     cache_order : string Queue.t;  (* insertion order, for FIFO eviction *)
@@ -46,10 +76,11 @@ module Recorder = struct
 
   let default_cache_cap = 65_536
 
-  let create ?(cache_cap = default_cache_cap) env ~budget =
+  let create ?(cache_cap = default_cache_cap) ?resilience env ~budget =
     {
       env;
       budget;
+      resilience;
       cache = Hashtbl.create 256;
       cache_cap = max 1 cache_cap;
       cache_order = Queue.create ();
@@ -62,6 +93,14 @@ module Recorder = struct
     }
 
   let cache_size r = Hashtbl.length r.cache
+
+  let quarantined_key r key =
+    match r.resilience with None -> false | Some rz -> Hashtbl.mem rz.quarantined key
+
+  let degraded r a =
+    match r.resilience with
+    | None -> false
+    | Some rz -> Hashtbl.mem rz.degraded (Assignment.key a)
 
   (* Insert a fresh measurement, evicting oldest entries beyond the cap.
      Evicted configurations cost a fresh step if revisited, so the default
@@ -76,30 +115,77 @@ module Recorder = struct
     Queue.push key r.cache_order
 
   (* Shared commit path of [eval] and [eval_batch]: bookkeeping for one
-     fresh measurement, in submission order. *)
-  let commit_fresh r a key l =
+     fresh measurement, in submission order. A [degraded] commit stores a
+     cost-model prediction, not a measurement: it never becomes the
+     incumbent best. Neither degraded nor quarantined commits count as
+     [invalid] — that bucket means "the validator rejected the program". *)
+  let commit_fresh ?(degraded = false) ?(quarantined = false) r a key l =
     cache_insert r key l;
     r.steps <- r.steps + 1;
     Obs.Counter.incr c_steps;
     (match l with
     | None ->
-        r.invalid <- r.invalid + 1;
-        Obs.Counter.incr c_invalid
+        if not (degraded || quarantined) then begin
+          r.invalid <- r.invalid + 1;
+          Obs.Counter.incr c_invalid
+        end
     | Some lat ->
-        let better = match r.best with None -> true | Some b -> lat < b in
-        if better then begin
-          r.best <- Some lat;
-          r.best_a <- Some a
+        if not degraded then begin
+          let better = match r.best with None -> true | Some b -> lat < b in
+          if better then begin
+            r.best <- Some lat;
+            r.best_a <- Some a
+          end
         end);
     r.trace_rev <- { step = r.steps; latency = l; best = r.best } :: r.trace_rev;
     if Obs.enabled () then
       Obs.emit "eval"
-        [
-          ("step", Json.Int r.steps);
-          ("latency", match l with None -> Json.Null | Some x -> Json.Float x);
-          ("best", match r.best with None -> Json.Null | Some x -> Json.Float x);
-        ];
+        ([
+           ("step", Json.Int r.steps);
+           ("latency", match l with None -> Json.Null | Some x -> Json.Float x);
+           ("best", match r.best with None -> Json.Null | Some x -> Json.Float x);
+         ]
+        @ (if degraded then [ ("degraded", Json.Bool true) ] else [])
+        @ if quarantined then [ ("quarantined", Json.Bool true) ] else []);
     l
+
+  (* The measurement of one fresh candidate, safe to run on a pool worker:
+     either the plain measure call, or a full resilient retry session
+     (attempts, simulated backoff). All mutable bookkeeping happens later,
+     in [commit_outcome], sequentially. *)
+  type outcome = Plain of float option | Resilient of Resilience.verdict
+
+  let measure_outcome r a =
+    match r.resilience with
+    | None -> Plain (r.env.measure a)
+    | Some rz ->
+        Resilient (Resilience.run rz.policy (fun ~attempt -> rz.attempt_measure a ~attempt))
+
+  let commit_outcome r a key = function
+    | Plain l -> commit_fresh r a key l
+    | Resilient v -> (
+        let rz =
+          match r.resilience with
+          | Some rz -> rz
+          | None -> assert false (* Resilient outcomes only arise with resilience on *)
+        in
+        let t = Resilience.tally_of v in
+        Obs.Counter.add c_retries t.Resilience.retries;
+        Obs.Counter.add c_fault_timeouts t.Resilience.timeouts;
+        Obs.Counter.add c_fault_crashes t.Resilience.crashes;
+        Obs.Counter.add c_fault_hangs t.Resilience.hangs;
+        match v with
+        | Resilience.Ok_measured { latency; _ } -> commit_fresh r a key (Some latency)
+        | Resilience.Invalid_config _ -> commit_fresh r a key None
+        | Resilience.Degraded _ ->
+            Obs.Counter.incr c_degraded;
+            Hashtbl.replace rz.degraded key ();
+            let l = match rz.predict with None -> None | Some p -> p a in
+            commit_fresh ~degraded:true r a key l
+        | Resilience.Quarantined _ ->
+            Obs.Counter.incr c_quarantined;
+            Hashtbl.replace rz.quarantined key ();
+            commit_fresh ~quarantined:true r a key None)
 
   (* The secondary cap bounds searchers whose populations converge onto
      already-measured configurations (replays are free in budget terms but
@@ -118,11 +204,17 @@ module Recorder = struct
         Obs.Counter.incr c_cache_hits;
         l
     | None ->
-        if exhausted r then begin
+        if quarantined_key r key then begin
+          (* Reachable only after the quarantined cache entry was evicted:
+             the config is still never re-measured and still scores 0. *)
+          Obs.Counter.incr c_quarantine_hits;
+          None
+        end
+        else if exhausted r then begin
           Obs.Counter.incr c_skips;
           None
         end
-        else commit_fresh r a key (r.env.measure a)
+        else commit_outcome r a key (measure_outcome r a)
 
   (* What [eval] would do with one batch element, decided up front so the
      expensive [measure] calls can run in parallel while every piece of
@@ -134,14 +226,15 @@ module Recorder = struct
     | Run of int  (* fresh measurement, index into the parallel job array *)
     | Dup of int  (* same key as job i, measured earlier in this batch *)
     | Skip  (* budget exhausted: eval would return None unmeasured *)
+    | Qhit  (* quarantined (and evicted from cache): never re-measured *)
 
   let eval_batch ?pool r batch =
     let batch = Array.of_list batch in
     let n = Array.length batch in
     (* Phase 1 — sequential classification, mirroring [eval] exactly:
        cache lookups, the budget check against steps consumed by earlier
-       batch elements, and within-batch duplicates (the second occurrence
-       of a key replays the first one's cache entry). *)
+       batch elements, within-batch duplicates (the second occurrence of a
+       key replays the first one's cache entry), and the quarantine set. *)
     let plans = Array.make n Skip in
     let jobs_rev = ref [] and n_jobs = ref 0 in
     let evals_v = ref r.evals and steps_v = ref r.steps in
@@ -155,7 +248,8 @@ module Recorder = struct
           match Hashtbl.find_opt fresh_keys key with
           | Some j -> plans.(i) <- Dup j
           | None ->
-              if !steps_v >= r.budget || !evals_v >= 50 * r.budget then
+              if quarantined_key r key then plans.(i) <- Qhit
+              else if !steps_v >= r.budget || !evals_v >= 50 * r.budget then
                 plans.(i) <- Skip
               else begin
                 plans.(i) <- Run !n_jobs;
@@ -165,10 +259,11 @@ module Recorder = struct
                 incr steps_v
               end)
     done;
-    (* Phase 2 — the only parallel part: run the measurer on every fresh
-       candidate. Results land by job index. *)
+    (* Phase 2 — the only parallel part: run the measurer (with its whole
+       retry session when resilience is on) on every fresh candidate.
+       Results land by job index. *)
     let jobs = Array.of_list (List.rev !jobs_rev) in
-    let measured = Heron_util.Pool.map ?pool r.env.measure jobs in
+    let measured = Heron_util.Pool.map ?pool (fun a -> measure_outcome r a) jobs in
     (* Phase 3 — sequential commit in submission order, byte-identical to
        calling [eval] element by element. *)
     Array.to_list
@@ -180,13 +275,19 @@ module Recorder = struct
            | Cached l ->
                Obs.Counter.incr c_cache_hits;
                l
-           | Dup j ->
+           | Dup j -> (
                Obs.Counter.incr c_cache_hits;
-               measured.(j)
+               (* Replay whatever job [j]'s commit put in the cache. *)
+               match Hashtbl.find_opt r.cache (Assignment.key jobs.(j)) with
+               | Some l -> l
+               | None -> None)
            | Skip ->
                Obs.Counter.incr c_skips;
                None
-           | Run j -> commit_fresh r a (Assignment.key a) measured.(j))
+           | Qhit ->
+               Obs.Counter.incr c_quarantine_hits;
+               None
+           | Run j -> commit_outcome r a (Assignment.key a) measured.(j))
          batch)
 
   let finish r =
@@ -196,4 +297,55 @@ module Recorder = struct
       trace = List.rev r.trace_rev;
       invalid = r.invalid;
     }
+
+  (* ---------- checkpointing ---------- *)
+
+  type export = {
+    x_steps : int;
+    x_evals : int;
+    x_invalid : int;
+    x_best : float option;
+    x_best_a : Assignment.t option;
+    x_trace : point list;
+    x_cache : (string * float option) list;
+    x_quarantined : string list;
+    x_degraded : string list;
+  }
+
+  let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+  let export r =
+    {
+      x_steps = r.steps;
+      x_evals = r.evals;
+      x_invalid = r.invalid;
+      x_best = r.best;
+      x_best_a = r.best_a;
+      x_trace = List.rev r.trace_rev;
+      x_cache =
+        List.rev
+          (Queue.fold (fun acc key -> (key, Hashtbl.find r.cache key) :: acc) [] r.cache_order);
+      x_quarantined = (match r.resilience with None -> [] | Some rz -> sorted_keys rz.quarantined);
+      x_degraded = (match r.resilience with None -> [] | Some rz -> sorted_keys rz.degraded);
+    }
+
+  let import ?cache_cap ?resilience env ~budget x =
+    let r = create ?cache_cap ?resilience env ~budget in
+    List.iter
+      (fun (key, l) ->
+        Hashtbl.replace r.cache key l;
+        Queue.push key r.cache_order)
+      x.x_cache;
+    r.steps <- x.x_steps;
+    r.evals <- x.x_evals;
+    r.invalid <- x.x_invalid;
+    r.best <- x.x_best;
+    r.best_a <- x.x_best_a;
+    r.trace_rev <- List.rev x.x_trace;
+    (match resilience with
+    | None -> ()
+    | Some rz ->
+        List.iter (fun k -> Hashtbl.replace rz.quarantined k ()) x.x_quarantined;
+        List.iter (fun k -> Hashtbl.replace rz.degraded k ()) x.x_degraded);
+    r
 end

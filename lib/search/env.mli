@@ -37,7 +37,26 @@ val score : float option -> float
 module Recorder : sig
   type r
 
-  val create : ?cache_cap:int -> t -> budget:int -> r
+  (** The optional resilience layer: when installed, every fresh
+      measurement runs as a {!Resilience} retry session instead of a
+      single [measure] call. Configurations that exhaust their retries are
+      quarantined (never re-measured, score 0); sessions cut off by the
+      per-candidate deadline degrade to the [predict] fallback (the cost
+      model), flagged in the trace. With no faults injected the layer is
+      byte-for-byte inert. *)
+  type resilience
+
+  val make_resilience :
+    ?policy:Resilience.policy ->
+    (Assignment.t -> attempt:int -> Resilience.attempt) ->
+    resilience
+
+  val set_fallback : resilience -> (Assignment.t -> float option) option -> unit
+  (** Install (or clear) the predicted-latency fallback used for degraded
+      candidates. Searchers that train a cost model update this as the
+      model refits. *)
+
+  val create : ?cache_cap:int -> ?resilience:resilience -> t -> budget:int -> r
   (** [cache_cap] bounds the measurement cache (default 65536): beyond it,
       the oldest entries are evicted FIFO and counted on the
       [env.cache_evictions] metric. An evicted configuration costs a fresh
@@ -61,10 +80,38 @@ module Recorder : sig
   (** [eval_batch ?pool r batch] is observably identical to
       [List.map (eval r) batch] — same return values, cache, trace, best
       tracking and budget accounting, all updated in submission order —
-      but the underlying hardware measurements of fresh candidates run in
-      parallel on [pool]. Pool size cannot change the result, only the
-      wall-clock. *)
+      but the underlying hardware measurements of fresh candidates (whole
+      retry sessions, when resilience is on) run in parallel on [pool].
+      Pool size cannot change the result, only the wall-clock. *)
 
   val seen : r -> Assignment.t -> bool
+
+  val degraded : r -> Assignment.t -> bool
+  (** Whether this configuration's cached value is a cost-model fallback
+      rather than a measurement (always [false] without resilience).
+      Degraded values never become the incumbent best, and searchers must
+      not feed them back into model training. *)
+
   val finish : r -> result
+
+  (** Serializable snapshot of a recorder for checkpoint/resume. *)
+  type export = {
+    x_steps : int;
+    x_evals : int;
+    x_invalid : int;
+    x_best : float option;
+    x_best_a : Assignment.t option;
+    x_trace : point list;  (** in step order *)
+    x_cache : (string * float option) list;  (** in FIFO insertion order *)
+    x_quarantined : string list;  (** sorted *)
+    x_degraded : string list;  (** sorted *)
+  }
+
+  val export : r -> export
+
+  val import : ?cache_cap:int -> ?resilience:resilience -> t -> budget:int -> export -> r
+  (** Rebuild a recorder in exactly the exported state (cache in the same
+      FIFO order, quarantine and degraded sets re-installed on
+      [resilience] when given), so a resumed search continues
+      byte-identically to one that was never interrupted. *)
 end

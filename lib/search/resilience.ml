@@ -1,0 +1,73 @@
+type failure = Timeout | Crash | Hang
+
+type attempt = Measured of float | Invalid | Fault of failure
+
+type policy = {
+  max_retries : int;
+  deadline_us : float;
+  attempt_timeout_us : float;
+  crash_cost_us : float;
+  backoff0_us : float;
+  backoff_mult : float;
+}
+
+let default_policy =
+  {
+    max_retries = 3;
+    deadline_us = 100_000.0;
+    attempt_timeout_us = 5_000.0;
+    crash_cost_us = 100.0;
+    backoff0_us = 50.0;
+    backoff_mult = 2.0;
+  }
+
+type tally = { retries : int; timeouts : int; crashes : int; hangs : int; sim_us : float }
+
+let no_faults = { retries = 0; timeouts = 0; crashes = 0; hangs = 0; sim_us = 0.0 }
+
+type verdict =
+  | Ok_measured of { latency : float; tally : tally }
+  | Invalid_config of { tally : tally }
+  | Degraded of { tally : tally }
+  | Quarantined of { tally : tally }
+
+let tally_of = function
+  | Ok_measured { tally; _ } | Invalid_config { tally } | Degraded { tally } | Quarantined { tally }
+    -> tally
+
+let run policy f =
+  let rec go attempt tally =
+    match f ~attempt with
+    | Measured latency ->
+        Ok_measured { latency; tally = { tally with sim_us = tally.sim_us +. latency } }
+    | Invalid -> Invalid_config { tally }
+    | Fault kind ->
+        let tally =
+          match kind with
+          | Timeout ->
+              {
+                tally with
+                timeouts = tally.timeouts + 1;
+                sim_us = tally.sim_us +. policy.attempt_timeout_us;
+              }
+          | Crash ->
+              {
+                tally with
+                crashes = tally.crashes + 1;
+                sim_us = tally.sim_us +. policy.crash_cost_us;
+              }
+          | Hang ->
+              (* A hang is only reclaimed when the candidate deadline
+                 fires, so it swallows all remaining simulated time. *)
+              { tally with hangs = tally.hangs + 1; sim_us = policy.deadline_us }
+        in
+        if attempt >= policy.max_retries then Quarantined { tally }
+        else
+          let backoff = policy.backoff0_us *. (policy.backoff_mult ** float_of_int attempt) in
+          if tally.sim_us +. backoff +. policy.attempt_timeout_us > policy.deadline_us then
+            Degraded { tally }
+          else
+            go (attempt + 1)
+              { tally with retries = tally.retries + 1; sim_us = tally.sim_us +. backoff }
+  in
+  go 0 no_faults

@@ -1,0 +1,61 @@
+(** Resilient measurement: per-candidate deadlines, bounded retries with
+    exponential backoff, quarantine and graceful degradation — the policy
+    layer a production tuning service needs when hardware measurements
+    fail transiently (see {!Heron_dla.Faults} for the matching injector).
+
+    All timing runs on a {e simulated} clock in microseconds: a retry
+    session is a pure function of the attempt outcomes, so fault
+    campaigns stay deterministic and jobs-independent. *)
+
+type failure = Timeout | Crash | Hang
+
+(** One measurement attempt, as the measurement stack reports it. *)
+type attempt =
+  | Measured of float  (** latency in microseconds *)
+  | Invalid  (** deterministic validator rejection — never retried *)
+  | Fault of failure  (** transient (or persistent) infrastructure fault *)
+
+type policy = {
+  max_retries : int;  (** extra attempts after the first failure *)
+  deadline_us : float;  (** per-candidate budget on the simulated clock *)
+  attempt_timeout_us : float;  (** simulated cost of a timed-out attempt *)
+  crash_cost_us : float;  (** simulated cost of a crashed attempt *)
+  backoff0_us : float;  (** backoff before the first retry *)
+  backoff_mult : float;  (** exponential backoff multiplier *)
+}
+
+val default_policy : policy
+(** 3 retries, 100 ms deadline, 5 ms attempt timeout, 50 us initial
+    backoff doubling per retry. A hang consumes the whole deadline, so a
+    hung candidate degrades (or quarantines on its last attempt) rather
+    than retrying. *)
+
+(** Cumulative fault accounting for one candidate's retry session. *)
+type tally = {
+  retries : int;  (** attempts beyond the first actually started *)
+  timeouts : int;
+  crashes : int;
+  hangs : int;
+  sim_us : float;  (** simulated time the session consumed *)
+}
+
+type verdict =
+  | Ok_measured of { latency : float; tally : tally }
+      (** a (possibly retried) attempt eventually measured cleanly *)
+  | Invalid_config of { tally : tally }
+      (** the validator rejected the program — deterministic, score 0 *)
+  | Degraded of { tally : tally }
+      (** transiently unmeasurable: the deadline cut the session off with
+          retries still allowed; the caller falls back to a cost-model
+          prediction *)
+  | Quarantined of { tally : tally }
+      (** every allowed attempt failed: never measure this config again,
+          score 0 *)
+
+val run : policy -> (attempt:int -> attempt) -> verdict
+(** [run policy f] drives one candidate's retry session: call
+    [f ~attempt:0], and on a fault either quarantine (retries exhausted),
+    degrade (the deadline cannot fit another backoff + attempt), or back
+    off and try [f ~attempt:(n+1)]. Pure in [f]'s outcomes. *)
+
+val tally_of : verdict -> tally

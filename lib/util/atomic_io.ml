@@ -1,0 +1,13 @@
+let with_file_out ~path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  match f oc with
+  | () ->
+      close_out oc;
+      Unix.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_string ~path s = with_file_out ~path (fun oc -> output_string oc s)

@@ -1,0 +1,14 @@
+(** Crash-safe file writes: content lands in [path ^ ".tmp"] and is
+    renamed over [path] only once complete, so a reader never observes a
+    truncated file and a killed writer leaves the previous version (or
+    nothing) behind — never garbage. Used for benchmark JSON reports,
+    search checkpoints and the observability journal. *)
+
+val write_string : path:string -> string -> unit
+(** [write_string ~path s] atomically replaces the contents of [path]
+    with [s] (write to [path ^ ".tmp"], flush, rename). *)
+
+val with_file_out : path:string -> (out_channel -> unit) -> unit
+(** [with_file_out ~path f] hands [f] a channel on [path ^ ".tmp"] and
+    renames over [path] when [f] returns. On exception the temp file is
+    removed and [path] is untouched. *)

@@ -28,6 +28,20 @@ let split_n t n =
 
 let copy t = { state = t.state }
 
+(* The whole generator state is one int64; a fixed-width hex rendering
+   round-trips it exactly, so checkpoints can freeze and restore a search's
+   random stream mid-run. *)
+let state_hex t = Printf.sprintf "%016Lx" t.state
+
+let set_state_hex t s =
+  if String.length s <> 16 then Error (Printf.sprintf "Rng state %S: expected 16 hex digits" s)
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v ->
+        t.state <- v;
+        Ok ()
+    | None -> Error (Printf.sprintf "Rng state %S: not hexadecimal" s)
+
 let split_at t i =
   if i < 0 then invalid_arg "Rng.split_at: negative index";
   (* Random access into the split_n sequence: advance a copy of the parent

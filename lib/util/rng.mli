@@ -23,6 +23,13 @@ val split_n : t -> int -> t array
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val state_hex : t -> string
+(** The full generator state as 16 hex digits, for checkpoints. *)
+
+val set_state_hex : t -> string -> (unit, string) result
+(** [set_state_hex t s] restores a state captured by {!state_hex}; the
+    stream then continues exactly where the captured generator stood. *)
+
 val split_at : t -> int -> t
 (** [split_at t i] is [(split_n (copy t) (i + 1)).(i)] without materializing
     the array and without advancing [t]: random access into the indexed

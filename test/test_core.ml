@@ -178,6 +178,68 @@ let test_pipeline_best_program_valid () =
   | None -> Alcotest.fail "has best program"
   | Some prog -> Alcotest.(check bool) "valid" true (Validate.is_valid D.v100 prog)
 
+(* The pipeline under injected faults: tuning must still deliver a
+   validator-clean best program, identically whether the spec arrives as
+   an argument or as the process default, and byte-identically to the
+   fault-free run when the spec has all-zero rates. *)
+let hostile_faults =
+  {
+    Heron_dla.Faults.seed = 4;
+    timeout_rate = 0.15;
+    crash_rate = 0.1;
+    hang_rate = 0.05;
+    noise = 0.2;
+    persistent = 0.1;
+  }
+
+let test_pipeline_tunes_under_faults () =
+  let op = Op.gemm ~m:256 ~n:256 ~k:256 () in
+  let tuned = Pipeline.tune ~budget:32 ~seed:6 ~faults:hostile_faults D.v100 op in
+  (match Pipeline.best_program tuned with
+  | None -> Alcotest.fail "faulted run must still find a program"
+  | Some prog -> Alcotest.(check bool) "valid" true (Validate.is_valid D.v100 prog));
+  Heron_dla.Faults.set_default (Some hostile_faults);
+  let via_default =
+    Fun.protect
+      ~finally:(fun () -> Heron_dla.Faults.set_default None)
+      (fun () -> Pipeline.tune ~budget:32 ~seed:6 D.v100 op)
+  in
+  Alcotest.(check bool) "process default = explicit spec" true
+    (tuned.Pipeline.outcome.Heron_search.Cga.result.Heron_search.Env.trace
+    = via_default.Pipeline.outcome.Heron_search.Cga.result.Heron_search.Env.trace)
+
+let test_pipeline_zero_faults_inert () =
+  let op = Op.gemm ~m:256 ~n:256 ~k:256 () in
+  let plain = Pipeline.tune ~budget:24 ~seed:9 D.v100 op in
+  let zeroed =
+    Pipeline.tune ~budget:24 ~seed:9 ~faults:{ Heron_dla.Faults.zero with seed = 77 } D.v100 op
+  in
+  let result t = t.Pipeline.outcome.Heron_search.Cga.result in
+  Alcotest.(check bool) "trace identical" true
+    ((result plain).Heron_search.Env.trace = (result zeroed).Heron_search.Env.trace);
+  Alcotest.(check bool) "best identical" true
+    ((result plain).Heron_search.Env.best_latency
+    = (result zeroed).Heron_search.Env.best_latency)
+
+let test_pipeline_checkpoint_label_mismatch () =
+  let op = Op.gemm ~m:256 ~n:256 ~k:256 () in
+  let path = Filename.temp_file "heron_ck_core" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _ = Pipeline.tune ~budget:16 ~seed:3 ~checkpoint:path D.v100 op in
+      (* Same checkpoint, different seed: the label check must refuse. *)
+      match Pipeline.tune ~budget:16 ~seed:4 ~resume:path D.v100 op with
+      | _ -> Alcotest.fail "mismatched checkpoint must be refused"
+      | exception Invalid_argument e ->
+          Alcotest.(check bool) "diagnostic names the mismatch" true
+            (String.length e > 0
+            &&
+            let needle = "different run" in
+            let nl = String.length needle and el = String.length e in
+            let rec at i = i + nl <= el && (String.sub e i nl = needle || at (i + 1)) in
+            at 0))
+
 let test_generator_deterministic () =
   let op = Op.gemm ~m:512 ~n:512 ~k:512 () in
   let g1 = Generator.generate D.v100 op and g2 = Generator.generate D.v100 op in
@@ -208,5 +270,9 @@ let suite =
     Alcotest.test_case "pipeline beats random" `Quick test_pipeline_improves_over_random;
     Alcotest.test_case "pipeline budget" `Quick test_pipeline_budget_respected;
     Alcotest.test_case "pipeline best program valid" `Quick test_pipeline_best_program_valid;
+    Alcotest.test_case "pipeline tunes under faults" `Quick test_pipeline_tunes_under_faults;
+    Alcotest.test_case "pipeline zero-rate faults inert" `Quick test_pipeline_zero_faults_inert;
+    Alcotest.test_case "pipeline refuses mismatched checkpoint" `Quick
+      test_pipeline_checkpoint_label_mismatch;
     Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
   ]

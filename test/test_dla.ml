@@ -384,6 +384,102 @@ let test_explain_csp_line () =
       Alcotest.(check bool) "violated constraint named" true
         (contains ~needle:(Heron_csp.Cons.to_string c) bad_report)
 
+module Faults = Heron_dla.Faults
+
+let hostile =
+  {
+    Faults.seed = 11;
+    timeout_rate = 0.2;
+    crash_rate = 0.15;
+    hang_rate = 0.1;
+    noise = 0.25;
+    persistent = 0.2;
+  }
+
+let test_faults_deterministic () =
+  for i = 0 to 50 do
+    let key = Printf.sprintf "cfg-%d" i in
+    for attempt = 0 to 3 do
+      Alcotest.(check bool) "same decision every time" true
+        (Faults.decide hostile ~key ~attempt = Faults.decide hostile ~key ~attempt)
+    done
+  done;
+  (* Different fault seeds give a different fault universe. *)
+  let other = { hostile with Faults.seed = 12 } in
+  let differs =
+    List.exists
+      (fun i ->
+        let key = Printf.sprintf "cfg-%d" i in
+        Faults.decide hostile ~key ~attempt:0 <> Faults.decide other ~key ~attempt:0)
+      (List.init 200 Fun.id)
+  in
+  Alcotest.(check bool) "seed changes the universe" true differs
+
+let test_faults_zero_inert () =
+  for i = 0 to 100 do
+    let key = Printf.sprintf "cfg-%d" i in
+    match Faults.decide Faults.zero ~key ~attempt:(i mod 5) with
+    | Faults.Noise f -> Alcotest.(check (float 0.0)) "factor exactly 1" 1.0 f
+    | _ -> Alcotest.fail "zero spec must never fault"
+  done
+
+let test_faults_persistent_stable () =
+  let spec = { Faults.zero with Faults.seed = 3; persistent = 0.5 } in
+  let persistent_at attempt key = Faults.decide spec ~key ~attempt = Faults.Persistent in
+  let keys = List.init 100 (fun i -> Printf.sprintf "cfg-%d" i) in
+  let marked = List.filter (persistent_at 0) keys in
+  Alcotest.(check bool) "some configs are persistent" true (marked <> []);
+  Alcotest.(check bool) "not all configs are persistent" true
+    (List.length marked < List.length keys);
+  List.iter
+    (fun key ->
+      for attempt = 1 to 5 do
+        Alcotest.(check bool) "persistent on every attempt" true (persistent_at attempt key)
+      done)
+    marked
+
+let test_faults_rates () =
+  let n = 2000 in
+  let count spec kind =
+    List.length
+      (List.filter
+         (fun i -> Faults.decide spec ~key:(Printf.sprintf "k%d" i) ~attempt:0 = kind)
+         (List.init n Fun.id))
+  in
+  let spec = { Faults.zero with Faults.seed = 7; timeout_rate = 0.3 } in
+  let timeouts = count spec Faults.Timeout in
+  (* 0.3 +- a generous tolerance on 2000 draws *)
+  Alcotest.(check bool) "timeout rate honored" true
+    (float_of_int timeouts /. float_of_int n > 0.2
+    && float_of_int timeouts /. float_of_int n < 0.4);
+  Alcotest.(check int) "no crashes at crash=0" 0 (count spec Faults.Crash)
+
+let test_faults_parse_roundtrip () =
+  (match Faults.parse (Faults.to_string hostile) with
+  | Ok (Some s) -> Alcotest.(check bool) "roundtrip" true (s = hostile)
+  | _ -> Alcotest.fail "canonical rendering must parse");
+  (match Faults.parse "off" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "off must parse to None");
+  match Faults.parse "timeout=0.5" with
+  | Ok (Some s) ->
+      Alcotest.(check bool) "unmentioned fields zero" true
+        (s = { Faults.zero with Faults.timeout_rate = 0.5 })
+  | _ -> Alcotest.fail "single-field spec must parse"
+
+let test_faults_parse_errors () =
+  let expect_error spec =
+    match Faults.parse spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "spec %S must be rejected" spec
+  in
+  expect_error "timeout=1.5";
+  expect_error "crash=-0.1";
+  expect_error "noise=abc";
+  expect_error "bogus=1";
+  expect_error "seed=1.5";
+  expect_error "timeout"
+
 let suite =
   [
     Alcotest.test_case "wmma shape set" `Quick test_descriptor_shapes;
@@ -413,4 +509,11 @@ let suite =
     Alcotest.test_case "violation: unsatisfied constraint" `Quick
       test_violation_unsatisfied_constraint;
     Alcotest.test_case "explain csp line" `Quick test_explain_csp_line;
+    Alcotest.test_case "faults: pure and deterministic" `Quick test_faults_deterministic;
+    Alcotest.test_case "faults: zero spec is inert" `Quick test_faults_zero_inert;
+    Alcotest.test_case "faults: persistent stable across attempts" `Quick
+      test_faults_persistent_stable;
+    Alcotest.test_case "faults: rates move outcome frequencies" `Quick test_faults_rates;
+    Alcotest.test_case "faults: spec parse/print roundtrip" `Quick test_faults_parse_roundtrip;
+    Alcotest.test_case "faults: parse diagnostics" `Quick test_faults_parse_errors;
   ]

@@ -126,6 +126,61 @@ let test_map_list_order () =
       Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * 3) xs)
         (Pool.map_list ~pool (fun x -> x * 3) xs))
 
+(* Tasks that crash via the deterministic fault injector: whatever the
+   pool size, the propagated exception is the one from the lowest-index
+   faulting task — the Pool failure contract under a realistic fault
+   workload. *)
+exception Task_fault of int
+
+let fault_spec = { Heron_dla.Faults.zero with Heron_dla.Faults.seed = 5; crash_rate = 0.06 }
+
+let faulting_task i =
+  match Heron_dla.Faults.decide fault_spec ~key:(string_of_int i) ~attempt:0 with
+  | Heron_dla.Faults.Crash -> raise (Task_fault i)
+  | _ -> (2 * i) + 1
+
+let test_faulting_tasks_deterministic () =
+  let n = 300 in
+  let expected =
+    (* the lowest index the injector crashes, found sequentially *)
+    let rec first i =
+      if i >= n then None
+      else match faulting_task i with _ -> first (i + 1) | exception Task_fault j -> Some j
+    in
+    first 0
+  in
+  Alcotest.(check bool) "workload does fault" true (expected <> None);
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          match Pool.parallel_map pool faulting_task (Array.init n (fun i -> i)) with
+          | _ -> Alcotest.fail "faulting workload must raise"
+          | exception Task_fault i ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "lowest faulting index at %d domains" domains)
+                expected (Some i)))
+    [ 1; 2; 4; 8 ]
+
+(* A fault-free (noise-only) workload: every pool size returns every
+   result exactly once, by index — nothing lost, nothing duplicated. *)
+let test_no_lost_or_duplicated_results () =
+  let n = 500 in
+  let noisy = { Heron_dla.Faults.zero with Heron_dla.Faults.seed = 9; noise = 0.3 } in
+  let task i =
+    match Heron_dla.Faults.decide noisy ~key:(string_of_int i) ~attempt:0 with
+    | Heron_dla.Faults.Noise f -> float_of_int i *. f
+    | _ -> Alcotest.fail "noise-only spec must never fault"
+  in
+  let expected = Array.init n task in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "results at %d domains" domains)
+            expected
+            (Pool.parallel_map pool task (Array.init n (fun i -> i)))))
+    [ 1; 2; 4; 8 ]
+
 let suite =
   [
     Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
@@ -139,6 +194,10 @@ let suite =
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_and_inline_after;
     Alcotest.test_case "default pool resolution" `Quick test_default_pool_resolution;
     Alcotest.test_case "map_list order" `Quick test_map_list_order;
+    Alcotest.test_case "faulting tasks: deterministic propagation" `Quick
+      test_faulting_tasks_deterministic;
+    Alcotest.test_case "faulting tasks: no lost or duplicated results" `Quick
+      test_no_lost_or_duplicated_results;
     Alcotest.test_case "exception ordering (randomized)" `Quick (fun () ->
         with_pool 4 (fun pool ->
             Heron_check.Replay.run_test

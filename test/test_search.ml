@@ -242,6 +242,117 @@ let test_eval_batch_matches_sequential_eval () =
       let pooled = run_with (fun r b -> Env.Recorder.eval_batch ~pool r b) in
       Alcotest.(check bool) "pooled = sequential" true (pooled = sequential))
 
+module Resilience = Heron_search.Resilience
+module Checkpoint = Heron_search.Checkpoint
+
+(* Drive one retry session from a scripted list of attempt outcomes. *)
+let scripted outcomes ~attempt =
+  if attempt < List.length outcomes then List.nth outcomes attempt
+  else Alcotest.failf "unexpected attempt %d" attempt
+
+let test_resilience_verdicts () =
+  let p = Resilience.default_policy in
+  (match Resilience.run p (scripted [ Resilience.Measured 5.0 ]) with
+  | Resilience.Ok_measured { latency; tally } ->
+      Alcotest.(check (float 0.0)) "clean latency" 5.0 latency;
+      Alcotest.(check int) "no retries" 0 tally.Resilience.retries
+  | _ -> Alcotest.fail "clean measurement must be Ok_measured");
+  (match Resilience.run p (scripted [ Resilience.Invalid ]) with
+  | Resilience.Invalid_config { tally } ->
+      Alcotest.(check int) "invalid never retries" 0 tally.Resilience.retries
+  | _ -> Alcotest.fail "validator rejection must be Invalid_config");
+  (match
+     Resilience.run p
+       (scripted [ Resilience.Fault Resilience.Timeout; Resilience.Measured 7.0 ])
+   with
+  | Resilience.Ok_measured { latency; tally } ->
+      Alcotest.(check (float 0.0)) "retried latency" 7.0 latency;
+      Alcotest.(check int) "one retry" 1 tally.Resilience.retries;
+      Alcotest.(check int) "one timeout" 1 tally.Resilience.timeouts
+  | _ -> Alcotest.fail "transient fault then success must be Ok_measured");
+  (match
+     Resilience.run p
+       (scripted (List.init (p.Resilience.max_retries + 1) (fun _ -> Resilience.Fault Resilience.Crash)))
+   with
+  | Resilience.Quarantined { tally } ->
+      Alcotest.(check int) "all attempts crashed" (p.Resilience.max_retries + 1)
+        tally.Resilience.crashes;
+      Alcotest.(check int) "all retries used" p.Resilience.max_retries tally.Resilience.retries
+  | _ -> Alcotest.fail "exhausted retries must be Quarantined");
+  match Resilience.run p (scripted [ Resilience.Fault Resilience.Hang ]) with
+  | Resilience.Degraded { tally } ->
+      Alcotest.(check int) "one hang" 1 tally.Resilience.hangs;
+      Alcotest.(check (float 0.0)) "hang consumed the deadline" p.Resilience.deadline_us
+        tally.Resilience.sim_us
+  | _ -> Alcotest.fail "a hang with retries left must be Degraded"
+
+(* A snapshot written by a real (small) CGA run survives the JSON
+   round-trip exactly: same label, loop state, recorder export, survivors
+   and model samples. *)
+let test_checkpoint_roundtrip () =
+  let env = fig5_env 5 in
+  let snapshots = ref [] in
+  let _ =
+    Cga.run
+      ~params:Cga.{ default_params with pop_size = 8; generations = 2; batch = 4 }
+      ~on_snapshot:(fun s -> snapshots := s :: !snapshots)
+      env ~budget:16
+  in
+  Alcotest.(check bool) "snapshots written" true (!snapshots <> []);
+  let snap = List.hd !snapshots in
+  let path = Filename.temp_file "heron_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.save ~path ~label:"test-run" snap;
+      match Checkpoint.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok (label, back) ->
+          Alcotest.(check string) "label" "test-run" label;
+          Alcotest.(check int) "iter" snap.Cga.s_iter back.Cga.s_iter;
+          Alcotest.(check int) "dry" snap.Cga.s_dry back.Cga.s_dry;
+          Alcotest.(check bool) "stopped" snap.Cga.s_stopped back.Cga.s_stopped;
+          Alcotest.(check string) "rng" snap.Cga.s_rng_hex back.Cga.s_rng_hex;
+          let r0 = snap.Cga.s_recorder and r1 = back.Cga.s_recorder in
+          Alcotest.(check int) "steps" r0.Env.Recorder.x_steps r1.Env.Recorder.x_steps;
+          Alcotest.(check bool) "trace identical" true
+            (r0.Env.Recorder.x_trace = r1.Env.Recorder.x_trace);
+          Alcotest.(check bool) "cache identical" true
+            (r0.Env.Recorder.x_cache = r1.Env.Recorder.x_cache);
+          Alcotest.(check bool) "best latency identical" true
+            (r0.Env.Recorder.x_best = r1.Env.Recorder.x_best);
+          Alcotest.(check (option string)) "best assignment identical"
+            (Option.map Assignment.key r0.Env.Recorder.x_best_a)
+            (Option.map Assignment.key r1.Env.Recorder.x_best_a);
+          Alcotest.(check bool) "survivors identical" true
+            (List.map (fun (a, l) -> (Assignment.key a, l)) snap.Cga.s_survivors
+            = List.map (fun (a, l) -> (Assignment.key a, l)) back.Cga.s_survivors);
+          Alcotest.(check bool) "model samples identical" true
+            (snap.Cga.s_model = back.Cga.s_model))
+
+let test_checkpoint_diagnostics () =
+  let expect_error ~needle content =
+    let path = Filename.temp_file "heron_ck_bad" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Out_channel.with_open_bin path (fun oc -> output_string oc content);
+        match Checkpoint.load ~path with
+        | Ok _ -> Alcotest.failf "must reject %S" content
+        | Error e ->
+            let contains =
+              let nl = String.length needle and el = String.length e in
+              let rec at i = i + nl <= el && (String.sub e i nl = needle || at (i + 1)) in
+              at 0
+            in
+            if not contains then Alcotest.failf "diagnostic %S does not mention %S" e needle)
+  in
+  expect_error ~needle:"invalid JSON" "{ truncated";
+  expect_error ~needle:"heron_checkpoint" "{\"foo\": 1}";
+  expect_error ~needle:"unsupported version" "{\"heron_checkpoint\": 999}";
+  expect_error ~needle:"missing field \"rng\""
+    "{\"heron_checkpoint\": 1, \"label\": \"x\", \"iter\": 0, \"dry\": 0, \"stopped\": false}"
+
 let suite =
   [
     Alcotest.test_case "fig5 optimum" `Quick test_fig5_optimum_known;
@@ -264,4 +375,7 @@ let suite =
       test_cga_trace_identical_across_jobs;
     Alcotest.test_case "eval_batch = sequential eval" `Quick
       test_eval_batch_matches_sequential_eval;
+    Alcotest.test_case "resilience verdicts" `Quick test_resilience_verdicts;
+    Alcotest.test_case "checkpoint JSON roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint diagnostics" `Quick test_checkpoint_diagnostics;
   ]

@@ -159,6 +159,57 @@ let test_hash_ranges () =
       Alcotest.(check bool) "signed in [-1,1)" true (sv >= -1.0 && sv < 1.0))
     [ ""; "x"; "heron"; "a-much-longer-key-with-digits-123456" ]
 
+let test_rng_state_hex_roundtrip () =
+  let a = Rng.create 987 in
+  for _ = 1 to 37 do
+    ignore (Rng.bits64 a)
+  done;
+  let hex = Rng.state_hex a in
+  Alcotest.(check int) "16 hex digits" 16 (String.length hex);
+  let b = Rng.create 0 in
+  (match Rng.set_state_hex b hex with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "streams rejoin" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  (match Rng.set_state_hex b "nope" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "short state must be rejected");
+  match Rng.set_state_hex b "zzzzzzzzzzzzzzzz" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-hex state must be rejected"
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "heron_atomic" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_atomic_write () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.json" in
+      Heron_util.Atomic_io.write_string ~path "first";
+      Alcotest.(check string) "content lands" "first" (read_file path);
+      Alcotest.(check bool) "no tmp left" false (Sys.file_exists (path ^ ".tmp"));
+      (* A failing writer must leave the previous content untouched and
+         clean its temp file up. *)
+      (match
+         Heron_util.Atomic_io.with_file_out ~path (fun oc ->
+             output_string oc "torn";
+             failwith "mid-write crash")
+       with
+      | () -> Alcotest.fail "writer must propagate the exception"
+      | exception Failure _ -> ());
+      Alcotest.(check string) "old content preserved" "first" (read_file path);
+      Alcotest.(check bool) "tmp cleaned up" false (Sys.file_exists (path ^ ".tmp")))
+
 (* Replay.to_alcotest derives each property's generator state from one
    campaign seed plus the property name and prints the replay commands on
    failure; QCHECK_SEED overrides the seed. *)
@@ -188,4 +239,6 @@ let suite =
     Alcotest.test_case "log2_floor" `Quick test_log2_floor;
     Alcotest.test_case "hash stability" `Quick test_hash_stable;
     Alcotest.test_case "hash ranges" `Quick test_hash_ranges;
+    Alcotest.test_case "rng state hex roundtrip" `Quick test_rng_state_hex_roundtrip;
+    Alcotest.test_case "atomic write" `Quick test_atomic_write;
   ]
