@@ -1,0 +1,17 @@
+(** Differential properties for the flat-array cost-model engine and the
+    batched perf-model evaluation path:
+
+    - the struct-of-arrays {!Heron_cost.Gbt} must fit and predict
+      byte-identically to the frozen pre-overhaul {!Heron_cost.Gbt_ref}
+      (canonical dumps, predictions and feature importances all exactly
+      equal);
+    - the {!Heron_cost.Model} ring-buffer training window must reproduce
+      the old list-window semantics for any record stream;
+    - [Model.predict_batch] must agree pointwise with scalar [predict],
+      trained or not;
+    - {!Heron_dla.Perf_model} context/batch evaluation must equal scalar
+      [analyze] on full breakdowns;
+    - the pipeline's batched measurement provider must equal its scalar
+      measurement closure, invocation counts included. *)
+
+val tests : ?count:int -> unit -> QCheck.Test.t list

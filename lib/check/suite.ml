@@ -4,6 +4,7 @@ let all ~budget =
     ("diff", Diff.tests ~count:(at budget) ());
     ("engine", Engine_diff.tests ~count:(at budget) ());
     ("dla", Dla_props.tests ~count:(at (budget / 8)) ());
+    ("model", Model_props.tests ~count:(at (budget / 8)) ());
     ("search", Search_props.tests ~count:(at (budget / 15)) ());
     ("fault", Fault_props.tests ~count:(at (budget / 15)) ());
   ]

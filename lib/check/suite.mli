@@ -2,6 +2,6 @@
     from one overall budget (cases per differential property). *)
 
 val all : budget:int -> (string * QCheck.Test.t list) list
-(** Groups: ["diff"] and ["engine"] at [budget] cases, ["dla"] at
-    [budget / 8], ["search"] and ["fault"] at [budget / 15] (all clamped
-    to at least 1). *)
+(** Groups: ["diff"] and ["engine"] at [budget] cases, ["dla"] and
+    ["model"] at [budget / 8], ["search"] and ["fault"] at [budget / 15]
+    (all clamped to at least 1). *)

@@ -22,6 +22,18 @@ val make_measure :
     template with the assignment, validate on the DLA, simulate. The second
     component reports how many measurements ran. *)
 
+(** Scalar and batched views of one measurer (shared invocation count).
+    [measure_batch] agrees with [measure] element by element; it
+    instantiates sequentially and measures through one pooled dispatch,
+    reusing the per-operator perf-model context built at creation. *)
+type measure_set = {
+  measure : Assignment.t -> float option;
+  measure_batch : ?pool:Heron_util.Pool.t -> Assignment.t array -> float option array;
+  measured : unit -> int;
+}
+
+val make_measure_set : ?reps:int -> Descriptor.t -> Generator.t -> measure_set
+
 val make_env : ?reps:int -> ?seed:int -> Descriptor.t -> Generator.t -> Env.t
 
 val make_attempt_measure :

@@ -8,6 +8,8 @@ type t = {
 }
 
 let of_problem ?(max_bins = 32) problem =
+  (* Bin indices must fit the one-byte cells of {!Fmat}. *)
+  let max_bins = min max_bins (Fmat.max_bin + 1) in
   let feat_names = Array.copy (Problem.vars problem) in
   let boundaries =
     Array.map
@@ -45,3 +47,8 @@ let bin_of boundaries v =
 
 let binned t a =
   Array.mapi (fun i name -> bin_of t.boundaries.(i) (value_of a name)) t.feat_names
+
+let bin_row t a m r =
+  for i = 0 to Array.length t.feat_names - 1 do
+    Fmat.set m r i (bin_of t.boundaries.(i) (value_of a t.feat_names.(i)))
+  done

@@ -4,7 +4,9 @@
     variables declared during constraint generation (loop lengths, memory
     usage, vector widths, ...), which are available without compiling
     anything. Each feature is discretized into bins derived from the
-    variable's domain, enabling fast histogram-based tree training. *)
+    variable's domain, enabling fast histogram-based tree training. Bin
+    counts are clamped to 256 so a bin index always fits the one-byte
+    cells of the flat {!Fmat} matrices the engine trains on. *)
 
 module Problem = Heron_csp.Problem
 module Assignment = Heron_csp.Assignment
@@ -12,6 +14,7 @@ module Assignment = Heron_csp.Assignment
 type t
 
 val of_problem : ?max_bins:int -> Problem.t -> t
+(** [max_bins] is clamped to [Fmat.max_bin + 1] (256). *)
 
 val n_features : t -> int
 val names : t -> string array
@@ -24,3 +27,8 @@ val vector : t -> Assignment.t -> float array
 val binned : t -> Assignment.t -> int array
 (** Bin index per feature: the highest bin whose boundary value does not
     exceed the variable's value. *)
+
+val bin_row : t -> Assignment.t -> Fmat.t -> int -> unit
+(** [bin_row t a m r] bins assignment [a] directly into row [r] of the
+    flat matrix [m] — the batch-binning path of {!Model}; equivalent to
+    writing {!binned} into the row, without the intermediate array. *)

@@ -1,47 +1,181 @@
+(* Gradient boosting over {!Tree}, with the fitted ensemble compiled into
+   one flat struct-of-arrays: every tree's pre-order nodes concatenated
+   into shared [feat]/[bin]/[left]/[right]/[value]/[gain] arrays with
+   per-tree root offsets. Batch prediction walks those few contiguous
+   kilobytes for a whole population, writing into one caller-owned buffer
+   that is reused across CGA generations. Fitting and prediction are
+   byte-identical to the frozen {!Gbt_ref} oracle. *)
+
 type params = { n_trees : int; learning_rate : float; tree : Tree.params }
 
 let default_params = { n_trees = 24; learning_rate = 0.3; tree = Tree.default_params }
 
+(* A tree walk costs tens of nanoseconds; a pool barrier costs tens of
+   microseconds. Below this many rows, pooled dispatch loses to running
+   inline, so the batch entry points fall back to the sequential path.
+   Harmless for results either way: the pool contract makes them identical
+   at any pool size. *)
+let pool_cutoff_rows = 4096
+
 type t = {
   base : float;
-  trees : Tree.t list;
   rate : float;
   n_features : int;
+  tree_off : int array;  (* root node index of each tree; length n_trees + 1 *)
+  feat : int array;  (* >= 0: split on feature; -1: leaf *)
+  bin : int array;
+  left : int array;  (* absolute node indices *)
+  right : int array;
+  value : float array;  (* leaf predictions *)
+  gain : float array;  (* split gains, for feature importance *)
 }
 
-let fit ?(params = default_params) ?pool ~n_bins xs ys =
-  let n = Array.length xs in
+(* Concatenate per-tree SoAs, shifting child links by each tree's offset. *)
+let compile ~base ~rate ~n_features (trees : Tree.t array) =
+  let total = Array.fold_left (fun acc (tr : Tree.t) -> acc + Array.length tr.Tree.feat) 0 trees in
+  let nt = Array.length trees in
+  let tree_off = Array.make (nt + 1) 0 in
+  let feat = Array.make (max 1 total) (-1)
+  and bin = Array.make (max 1 total) 0
+  and left = Array.make (max 1 total) (-1)
+  and right = Array.make (max 1 total) (-1)
+  and value = Array.make (max 1 total) 0.0
+  and gain = Array.make (max 1 total) 0.0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun ti (tr : Tree.t) ->
+      let o = !off in
+      tree_off.(ti) <- o;
+      let n = Array.length tr.Tree.feat in
+      for i = 0 to n - 1 do
+        feat.(o + i) <- tr.Tree.feat.(i);
+        bin.(o + i) <- tr.Tree.bin.(i);
+        left.(o + i) <- (if tr.Tree.left.(i) < 0 then -1 else o + tr.Tree.left.(i));
+        right.(o + i) <- (if tr.Tree.right.(i) < 0 then -1 else o + tr.Tree.right.(i));
+        value.(o + i) <- tr.Tree.value.(i);
+        gain.(o + i) <- tr.Tree.gain.(i)
+      done;
+      off := o + n)
+    trees;
+  tree_off.(nt) <- !off;
+  { base; rate; n_features; tree_off; feat; bin; left; right; value; gain }
+
+let fit ?(params = default_params) ?pool ~n_bins (m : Fmat.t) ys =
+  let n = Fmat.n_rows m in
   if n = 0 then invalid_arg "Gbt.fit: empty data";
-  let base = Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
-  let preds = Array.make n base in
-  let trees = ref [] in
-  for _round = 1 to params.n_trees do
-    (* Squared loss: the negative gradient is the residual. *)
-    let residuals = Array.init n (fun i -> ys.(i) -. preds.(i)) in
-    let tree = Tree.fit ~params:params.tree ?pool ~n_bins xs residuals in
-    trees := tree :: !trees;
-    (* Per-sample tree outputs are independent; computing them on the pool
-       and applying sequentially keeps float order identical. *)
-    let contrib = Heron_util.Pool.init ?pool n (fun i -> Tree.predict tree xs.(i)) in
-    Array.iteri
-      (fun i c -> preds.(i) <- preds.(i) +. (params.learning_rate *. c))
-      contrib
+  if Array.length ys < n then invalid_arg "Gbt.fit: ys shorter than the matrix";
+  (* Base and residuals accumulate exactly as the reference does. *)
+  let base = ref 0.0 in
+  for i = 0 to n - 1 do
+    base := !base +. ys.(i)
   done;
-  { base; trees = List.rev !trees; rate = params.learning_rate;
-    n_features = Array.length xs.(0) }
+  let base = !base /. float_of_int n in
+  let preds = Array.make n base in
+  let residuals = Array.make n 0.0 in
+  let trees = Array.make params.n_trees None in
+  let scratch = Tree.scratch () in
+  let pool = if n < pool_cutoff_rows then None else pool in
+  for round = 0 to params.n_trees - 1 do
+    (* Squared loss: the negative gradient is the residual. *)
+    for i = 0 to n - 1 do
+      residuals.(i) <- ys.(i) -. preds.(i)
+    done;
+    let tree = Tree.fit ~params:params.tree ~scratch ~n_bins m residuals in
+    trees.(round) <- Some tree;
+    (* Per-sample tree outputs are independent, so each preds.(i) update is
+       the same float expression whether contributions are computed on the
+       pool or fused into the sequential loop. *)
+    match pool with
+    | None ->
+        for i = 0 to n - 1 do
+          preds.(i) <- preds.(i) +. (params.learning_rate *. Tree.predict_row tree m i)
+        done
+    | Some _ ->
+        let contrib = Heron_util.Pool.init ?pool n (fun i -> Tree.predict_row tree m i) in
+        Array.iteri
+          (fun i c -> preds.(i) <- preds.(i) +. (params.learning_rate *. c))
+          contrib
+  done;
+  let trees = Array.map (function Some t -> t | None -> assert false) trees in
+  compile ~base ~rate:params.learning_rate ~n_features:(Fmat.n_features m) trees
 
+let n_trees t = Array.length t.tree_off - 1
+
+(* Tree walks accumulate in ensemble order with the same float expression
+   as the reference's fold: acc +. (rate *. leaf). Pre-order storage means
+   a split's left child is always the next node, so walks never load the
+   [left] array. *)
 let predict t x =
-  List.fold_left (fun acc tree -> acc +. (t.rate *. Tree.predict tree x)) t.base t.trees
+  let acc = ref t.base in
+  for ti = 0 to n_trees t - 1 do
+    let i = ref (Array.unsafe_get t.tree_off ti) in
+    while Array.unsafe_get t.feat !i >= 0 do
+      i :=
+        if Array.unsafe_get x (Array.unsafe_get t.feat !i) <= Array.unsafe_get t.bin !i
+        then !i + 1
+        else Array.unsafe_get t.right !i
+    done;
+    acc := !acc +. (t.rate *. Array.unsafe_get t.value !i)
+  done;
+  !acc
 
-let predict_batch ?pool t xs = Heron_util.Pool.map ?pool (predict t) xs
+(* Walk the ensemble over the row starting at byte [base] of [rows]. *)
+let predict_bytes t rows base =
+  let acc = ref t.base in
+  for ti = 0 to n_trees t - 1 do
+    let i = ref (Array.unsafe_get t.tree_off ti) in
+    while Array.unsafe_get t.feat !i >= 0 do
+      let b = Char.code (Bytes.unsafe_get rows (base + Array.unsafe_get t.feat !i)) in
+      i := if b <= Array.unsafe_get t.bin !i then !i + 1 else Array.unsafe_get t.right !i
+    done;
+    acc := !acc +. (t.rate *. Array.unsafe_get t.value !i)
+  done;
+  !acc
+
+let predict_row t m r = predict_bytes t (Fmat.data m) (r * Fmat.n_features m)
+
+let predict_batch_into ?pool t m out =
+  let n = Fmat.n_rows m in
+  if Array.length out < n then invalid_arg "Gbt.predict_batch_into: output buffer too small";
+  let rows = Fmat.data m and nf = Fmat.n_features m in
+  (* Disjoint per-row float stores: safe and deterministic on the pool. *)
+  let pool = if n < pool_cutoff_rows then None else pool in
+  ignore (Heron_util.Pool.init ?pool n (fun r -> out.(r) <- predict_bytes t rows (r * nf)))
 
 let feature_gains t =
   let acc = Array.make t.n_features 0.0 in
-  List.iter
-    (fun tree ->
-      let g = Tree.gains tree in
-      Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) g)
-    t.trees;
+  let tmp = Array.make t.n_features 0.0 in
+  (* Per-tree subtotal first, then one elementwise add into the ensemble
+     accumulator — the reference's exact float addition order. *)
+  for ti = 0 to n_trees t - 1 do
+    Array.fill tmp 0 t.n_features 0.0;
+    for i = t.tree_off.(ti) to t.tree_off.(ti + 1) - 1 do
+      let f = t.feat.(i) in
+      if f >= 0 then tmp.(f) <- tmp.(f) +. t.gain.(i)
+    done;
+    for f = 0 to t.n_features - 1 do
+      acc.(f) <- acc.(f) +. tmp.(f)
+    done
+  done;
   acc
 
-let n_trees t = List.length t.trees
+(* Canonical serialization, format shared with [Gbt_ref.dump]. *)
+let dump t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "base=%h rate=%h nf=%d\n" t.base t.rate t.n_features);
+  for ti = 0 to n_trees t - 1 do
+    Buffer.add_string buf (Printf.sprintf "tree %d: " ti);
+    let rec walk i =
+      if t.feat.(i) < 0 then Buffer.add_string buf (Printf.sprintf "L%h" t.value.(i))
+      else begin
+        Buffer.add_string buf (Printf.sprintf "S%d:%d:%h(" t.feat.(i) t.bin.(i) t.gain.(i));
+        walk t.left.(i);
+        Buffer.add_char buf ',';
+        walk t.right.(i);
+        Buffer.add_char buf ')'
+      end
+    in
+    walk t.tree_off.(ti);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

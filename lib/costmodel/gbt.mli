@@ -1,5 +1,10 @@
 (** Gradient-boosted regression trees with squared loss — the from-scratch
-    stand-in for the XGBoost model the paper employs. *)
+    stand-in for the XGBoost model the paper employs. The fitted ensemble
+    is compiled into one flat struct-of-arrays (all trees' pre-order nodes
+    concatenated into shared [feat]/[bin]/[left]/[right]/[value] arrays),
+    so prediction walks a few contiguous kilobytes instead of
+    pointer-linked nodes. Fit and predict are byte-identical to the frozen
+    {!Gbt_ref} oracle. *)
 
 type params = {
   n_trees : int;
@@ -15,21 +20,31 @@ val fit :
   ?params:params ->
   ?pool:Heron_util.Pool.t ->
   n_bins:int array ->
-  int array array ->
+  Fmat.t ->
   float array ->
   t
-(** With [?pool], each boosting round parallelizes the per-feature split
-    scan and the residual update; the ensemble is identical for any pool
-    size. *)
+(** [fit ~n_bins m ys] boosts on the first [Fmat.n_rows m] rows against
+    [ys] (extra entries ignored). With [?pool], each round's per-sample
+    residual predictions fan out; the ensemble is identical for any pool
+    size. @raise Invalid_argument on empty data. *)
 
 val predict : t -> int array -> float
+val predict_row : t -> Fmat.t -> int -> float
 
-val predict_batch : ?pool:Heron_util.Pool.t -> t -> int array array -> float array
-(** Batch prediction, optionally fanned out across a domain pool; output
-    order matches input order. *)
+val predict_batch_into : ?pool:Heron_util.Pool.t -> t -> Fmat.t -> float array -> unit
+(** [predict_batch_into ?pool t m out] writes the prediction for row [r]
+    into [out.(r)] for every row of [m] — the caller owns (and reuses)
+    the output buffer across batches. Optionally fanned out across the
+    pool (disjoint per-row stores, deterministic).
+    @raise Invalid_argument when [out] is shorter than [Fmat.n_rows m]. *)
 
 val feature_gains : t -> float array
 (** Per-feature total gain across the ensemble (XGBoost-style
     importance). *)
 
 val n_trees : t -> int
+
+val dump : t -> string
+(** Canonical serialization (floats as ["%h"]), format shared with
+    {!Gbt_ref.dump}: byte-equal dumps mean byte-identical fitted
+    models. *)

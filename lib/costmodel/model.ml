@@ -6,6 +6,8 @@ let c_fit_calls = Obs.Counter.make "costmodel.fit_calls"
 let c_fit_ns = Obs.Counter.make "costmodel.fit_ns"
 let c_predict_calls = Obs.Counter.make "costmodel.predict_calls"
 let c_predict_ns = Obs.Counter.make "costmodel.predict_ns"
+let c_record_calls = Obs.Counter.make "costmodel.record_calls"
+let c_predict_rows = Obs.Counter.make "costmodel.predict_rows"
 
 (* Wall-clock a cold-path call into a calls/ns counter pair (these run once
    per CGA generation, so the two clock reads are negligible). *)
@@ -16,42 +18,76 @@ let timed_count c_calls c_ns f =
   Obs.Counter.add c_ns (Obs.Clock.now_ns () - t0);
   x
 
+(* The training window lives in a fixed ring: [window] flat byte rows plus
+   a float target per slot. [next] is the slot the next [record] writes;
+   the most recent sample sits at [next - 1] (mod window). Inserting is
+   O(n_features) regardless of how full the window is — the pre-overhaul
+   list window paid an O(window) [List.filteri] rebuild per insert once
+   full. *)
 type t = {
   features : Features.t;
   gbt_params : Gbt.params;
   window : int;
-  mutable data : (int array * float) list;  (* most recent first *)
-  mutable count : int;
+  nf : int;
+  ring : Fmat.t;  (* always [window] rows *)
+  ring_y : float array;
+  mutable next : int;
+  mutable count : int;  (* samples currently held: min(total recorded, window) *)
   mutable ensemble : Gbt.t option;
+  fit_m : Fmat.t;  (* refit scratch, rows ordered most recent first *)
+  fit_y : float array;
+  pred_m : Fmat.t;  (* batch-prediction scratch, reused across generations *)
+  mutable pred_out : float array;  (* reused prediction output buffer *)
 }
 
 let create ?(gbt_params = Gbt.default_params) ?(window = 512) problem =
+  let features = Features.of_problem problem in
+  let window = max 1 window in
+  let nf = Features.n_features features in
+  let ring = Fmat.create ~capacity:window ~n_features:nf () in
+  Fmat.set_rows ring window;
   {
-    features = Features.of_problem problem;
+    features;
     gbt_params;
     window;
-    data = [];
+    nf;
+    ring;
+    ring_y = Array.make window 0.0;
+    next = 0;
     count = 0;
     ensemble = None;
+    fit_m = Fmat.create ~capacity:window ~n_features:nf ();
+    fit_y = Array.make window 0.0;
+    pred_m = Fmat.create ~n_features:nf ();
+    pred_out = [||];
   }
 
 let record t a score =
-  t.data <- (Features.binned t.features a, score) :: t.data;
-  t.count <- t.count + 1;
-  if t.count > t.window then begin
-    t.data <- List.filteri (fun i _ -> i < t.window) t.data;
-    t.count <- t.window
-  end
+  Obs.Counter.incr c_record_calls;
+  Features.bin_row t.features a t.ring t.next;
+  t.ring_y.(t.next) <- score;
+  t.next <- (t.next + 1) mod t.window;
+  if t.count < t.window then t.count <- t.count + 1
+
+(* Slot of the k-th most recent sample (k = 0 is the newest). *)
+let slot t k = ((t.next - 1 - k) mod t.window + t.window) mod t.window
 
 let refit ?pool t =
   if t.count >= 8 then
     timed_count c_fit_calls c_fit_ns (fun () ->
         Obs.with_span "costmodel.fit" (fun () ->
-            let xs = Array.of_list (List.map fst t.data) in
-            let ys = Array.of_list (List.map snd t.data) in
+            (* Fit on most-recent-first rows — the exact sample order the
+               pre-overhaul list window trained in. *)
+            Fmat.set_rows t.fit_m t.count;
+            for k = 0 to t.count - 1 do
+              let s = slot t k in
+              Fmat.blit_row t.ring s t.fit_m k;
+              t.fit_y.(k) <- t.ring_y.(s)
+            done;
             t.ensemble <-
               Some
-                (Gbt.fit ~params:t.gbt_params ?pool ~n_bins:(Features.n_bins t.features) xs ys)))
+                (Gbt.fit ~params:t.gbt_params ?pool
+                   ~n_bins:(Features.n_bins t.features) t.fit_m t.fit_y)))
 
 let trained t = t.ensemble <> None
 
@@ -61,15 +97,22 @@ let predict t a =
   | Some g -> Gbt.predict g (Features.binned t.features a)
 
 let predict_batch ?pool t assignments =
-  match t.ensemble with
-  | None -> List.map (fun _ -> 0.0) assignments
-  | Some g ->
-      (* Binning and ensemble evaluation are pure per-assignment reads, so
-         the whole scoring pass fans out; order is preserved. *)
-      timed_count c_predict_calls c_predict_ns (fun () ->
-          Heron_util.Pool.map_list ?pool
-            (fun a -> Gbt.predict g (Features.binned t.features a))
-            assignments)
+  (* The untrained path counts too, so traces distinguish "cheap because
+     untrained" from "never called". *)
+  timed_count c_predict_calls c_predict_ns (fun () ->
+      Obs.Counter.add c_predict_rows (List.length assignments);
+      match t.ensemble with
+      | None -> List.map (fun _ -> 0.0) assignments
+      | Some g ->
+          (* Batch-bin into the reused flat matrix, then walk the compiled
+             ensemble over all rows into the reused output buffer. Scoring
+             fans out across the pool by row index; order is preserved. *)
+          let n = List.length assignments in
+          Fmat.set_rows t.pred_m n;
+          List.iteri (fun r a -> Features.bin_row t.features a t.pred_m r) assignments;
+          if Array.length t.pred_out < n then t.pred_out <- Array.make n 0.0;
+          Gbt.predict_batch_into ?pool g t.pred_m t.pred_out;
+          List.init n (fun r -> t.pred_out.(r)))
 
 let importance t =
   match t.ensemble with
@@ -78,7 +121,7 @@ let importance t =
       let gains = Gbt.feature_gains g in
       let names = Features.names t.features in
       let pairs = Array.to_list (Array.mapi (fun i n -> (n, gains.(i))) names) in
-      List.sort (fun (_, a) (_, b) -> compare b a) pairs
+      List.sort (fun (_, a) (_, b) -> Float.compare b a) pairs
 
 let key_variables t k =
   let ranked = importance t in
@@ -91,9 +134,19 @@ let key_variables t k =
 
 let n_samples t = t.count
 
-let samples t = t.data
+let samples t = List.init t.count (fun k -> (Fmat.row t.ring (slot t k), t.ring_y.(slot t k)))
 
 let restore t data =
-  t.data <- data;
-  t.count <- List.length data;
+  (* Keep the [window] most recent entries ([data] is most recent first),
+     placing them so the ring's recency order reproduces the list's. *)
+  let data = List.filteri (fun i _ -> i < t.window) data in
+  let n = List.length data in
+  t.count <- n;
+  t.next <- n mod t.window;
+  List.iteri
+    (fun k (bins, y) ->
+      let s = slot t k in
+      Array.iteri (fun f v -> Fmat.set t.ring s f v) bins;
+      t.ring_y.(s) <- y)
+    data;
   t.ensemble <- None

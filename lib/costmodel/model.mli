@@ -1,6 +1,11 @@
 (** The cost model of the exploration loop: maps assignments to predicted
     fitness scores and ranks the key variables by feature importance
-    (Algorithm 3, Step 1). *)
+    (Algorithm 3, Step 1).
+
+    The training window is a fixed ring of flat byte rows ({!Fmat}):
+    {!record} is O(n_features) regardless of window fill, and batch
+    prediction bins into a reused flat matrix and walks the compiled
+    ensemble — no per-generation allocation beyond the result list. *)
 
 module Problem = Heron_csp.Problem
 module Assignment = Heron_csp.Assignment
@@ -11,12 +16,13 @@ val create : ?gbt_params:Gbt.params -> ?window:int -> Problem.t -> t
 (** [window] caps the number of most recent samples kept for training. *)
 
 val record : t -> Assignment.t -> float -> unit
-(** Stores one (assignment, fitness score) observation. *)
+(** Stores one (assignment, fitness score) observation into the ring,
+    evicting the oldest once the window is full. O(n_features). *)
 
 val refit : ?pool:Heron_util.Pool.t -> t -> unit
 (** Retrains the ensemble on the stored observations (cheap; histogram
     trees on at most [window] samples). No-op with fewer than 8 samples.
-    With [?pool], tree fitting parallelizes its per-feature split scans;
+    With [?pool], each boosting round's residual predictions fan out;
     the model is identical for any pool size. *)
 
 val trained : t -> bool

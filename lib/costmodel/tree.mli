@@ -1,6 +1,11 @@
 (** Histogram-based regression trees (the weak learners of the boosted
-    ensemble). Training operates on pre-binned integer features; splits
-    maximize variance reduction. *)
+    ensemble), trained on a flat byte matrix ({!Fmat}) of pre-binned
+    features and stored as a pre-order struct-of-arrays. Splits maximize
+    variance reduction. Fitting is byte-identical to the frozen
+    {!Gbt_ref.Tree} oracle — same splits, gains and leaf means — the flat
+    engine only changes the constants (single streaming histogram pass per
+    node over all features, count+fill partitioning, monomorphic
+    comparisons). *)
 
 type params = {
   max_depth : int;
@@ -10,22 +15,44 @@ type params = {
 
 val default_params : params
 
-type t
+(** Pre-order node storage: [feat.(i) >= 0] is a split on that feature at
+    threshold [bin.(i)] (samples with [x <= bin] go to [left.(i)]);
+    [feat.(i) = -1] is a leaf predicting [value.(i)]. Read-only. *)
+type t = {
+  feat : int array;
+  bin : int array;
+  left : int array;
+  right : int array;
+  value : float array;
+  gain : float array;
+  n_features : int;
+}
+
+type scratch
+(** Reusable fit workspace (histograms, partition permutation, offsets).
+    One scratch serves any problem size — buffers grow on demand and are
+    retained — but must not be shared across concurrent fits. *)
+
+val scratch : unit -> scratch
 
 val fit :
   ?params:params ->
   ?pool:Heron_util.Pool.t ->
+  ?scratch:scratch ->
   n_bins:int array ->
-  int array array ->
+  Fmat.t ->
   float array ->
   t
-(** [fit ~n_bins xs ys] trains on samples [xs] (each an array of bin
-    indices, one per feature) with targets [ys]. With [?pool], the
-    per-feature split scan of each node fans out across the pool; the
-    fitted tree is identical for any pool size.
+(** [fit ~n_bins m ys] trains on the first [Fmat.n_rows m] rows of [m]
+    against targets [ys] (which may be longer; extra entries are ignored).
+    [?pool] is accepted for interface stability but unused: the
+    single-pass histogram build is sequential and the fitted tree is
+    identical regardless. [?scratch] amortizes workspace allocation across
+    repeated fits (e.g. boosting rounds) and never changes the result.
     @raise Invalid_argument on empty or mismatched data. *)
 
 val predict : t -> int array -> float
+val predict_row : t -> Fmat.t -> int -> float
 
 val gains : t -> float array
 (** Total variance reduction contributed by each feature (indexed like the

@@ -8,9 +8,15 @@ type t = {
   count : int Atomic.t;
       (** total measurement invocations so far; atomic because batches of
           candidates are measured in parallel on a domain pool *)
+  ctx : Perf_model.ctx option;
+      (** per-operator evaluation context, built eagerly by [create ~op];
+          used when it matches the measured program's operator *)
 }
 
-val create : ?reps:int -> Descriptor.t -> t
+val create : ?reps:int -> ?op:Heron_tensor.Op.t -> Descriptor.t -> t
+(** With [~op], precomputes the {!Perf_model.ctx} for that operator once,
+    so every measurement of its programs skips the per-call hoisting.
+    Results are identical with or without it. *)
 
 val count : t -> int
 (** Measurement invocations so far. *)
@@ -18,6 +24,15 @@ val count : t -> int
 val run : t -> Heron_sched.Concrete.t -> (float, Violation.t) result
 (** Average latency in microseconds, or the violation that makes the
     program fail to compile/run. *)
+
+val run_batch :
+  ?pool:Heron_util.Pool.t ->
+  t ->
+  Heron_sched.Concrete.t array ->
+  (float, Violation.t) result array
+(** One {!run} per program, optionally fanned out across the pool; output
+    order matches input order and each entry is byte-identical to the
+    scalar call. *)
 
 val latency_exn : t -> Heron_sched.Concrete.t -> float
 (** @raise Failure on an invalid program. *)

@@ -3,6 +3,10 @@ module Template = Heron_sched.Template
 module Prim = Heron_sched.Prim
 module Op = Heron_tensor.Op
 module Hashing = Heron_util.Hashing
+module Obs = Heron_obs.Obs
+
+let c_ctx_builds = Obs.Counter.make "perf_model.ctx_builds"
+let c_evals = Obs.Counter.make "perf_model.evals"
 
 type breakdown = {
   compute_us : float;
@@ -50,34 +54,85 @@ let vectorized_width (s : Concrete.cstage) =
       match l.ann with Concrete.Vectorized v -> max acc v | _ -> acc)
     1 s.loops
 
+(* Everything the model derives from the (descriptor, operator) pair alone
+   — scope lists, dtype sizes, bandwidth denominators, peak rates — hoisted
+   out of the per-assignment path. Each cached float is produced by the
+   exact expression the scalar path used, so [analyze_ctx] is
+   value-identical to [analyze]. *)
+type ctx = {
+  desc : Descriptor.t;
+  op : Op.t;  (* the operator the ctx was built for; compare with [==] *)
+  dt_by_tensor : (string * int) list;  (* input tensor name -> dtype bytes *)
+  out_bytes : float;
+  input_bytes : float;
+  offchip_scopes : string list;
+  onchip_scopes : string list;
+  smem_cap : int;
+  peak_intrin_per_us : float;
+  peak_fallback_per_us : float;
+  mem_denom : float;
+  spm_denom : float;
+  key_prefix : string;
+}
+
+let make_ctx (desc : Descriptor.t) (op : Op.t) =
+  Obs.Counter.incr c_ctx_builds;
+  {
+    desc;
+    op;
+    dt_by_tensor = List.map (fun (t : Op.tensor) -> (t.tname, Op.dtype_bytes t.dt)) op.inputs;
+    out_bytes = float_of_int (Op.tensor_bytes op.out);
+    input_bytes =
+      List.fold_left (fun acc t -> acc +. float_of_int (Op.tensor_bytes t)) 0.0 op.inputs;
+    offchip_scopes =
+      (match desc.family with
+      | Descriptor.Tensorcore -> [ "shared" ]
+      | Descriptor.Dlboost -> [ "l2" ]
+      | Descriptor.Vta -> [ "vta.inp"; "vta.wgt" ]);
+    onchip_scopes =
+      (match desc.family with
+      | Descriptor.Tensorcore -> [ "wmma.a"; "wmma.b"; "wmma.acc" ]
+      | Descriptor.Dlboost -> [ "l1" ]
+      | Descriptor.Vta -> [ "vta.acc" ]);
+    smem_cap =
+      (match desc.family with
+      | Descriptor.Tensorcore -> (
+          match Descriptor.scope_capacity desc "shared" with Some c -> c | None -> max_int)
+      | _ -> max_int);
+    peak_intrin_per_us =
+      desc.intrin_flops_per_cycle *. float_of_int desc.units *. desc.clock_ghz *. 1000.0;
+    peak_fallback_per_us =
+      max desc.fallback_flops_per_cycle 1.0
+      *. float_of_int desc.units *. desc.clock_ghz *. 1000.0;
+    mem_denom = desc.mem_bw_gbs *. 1000.0;
+    spm_denom = desc.mem_bw_gbs *. desc.spm_bw_factor *. 1000.0;
+    key_prefix = desc.dname ^ "|";
+  }
+
+let op_of ctx = ctx.op
+
+(* Dtype bytes behind a cache stage: first matching input tensor, 4 for
+   everything else — same first-match semantics as a [List.find_opt] over
+   [op.inputs]. *)
+let stage_dt_bytes ctx (s : Concrete.cstage) =
+  match s.role with
+  | Template.Load tensor -> (
+      match List.assoc_opt tensor ctx.dt_by_tensor with Some b -> b | None -> 4)
+  | _ -> 4
+
 (* Fraction of a 16-byte transaction a vectorized access fills. *)
-let vec_eff (prog : Concrete.t) (s : Concrete.cstage) =
-  let dt_bytes =
-    match s.role with
-    | Template.Load tensor -> (
-        match List.find_opt (fun (t : Op.tensor) -> t.tname = tensor) prog.op.inputs with
-        | Some t -> Op.dtype_bytes t.dt
-        | None -> 4)
-    | _ -> 4
-  in
-  let bytes = vectorized_width s * dt_bytes in
+let vec_eff ctx (s : Concrete.cstage) =
+  let bytes = vectorized_width s * stage_dt_bytes ctx s in
   0.3 +. (0.7 *. clamp01 (float_of_int bytes /. 16.0))
 
 (* Shared-memory bank conflict factor from the padded row length. A row
    stride that is a multiple of the full bank set serializes accesses;
    storage_align padding breaks the pattern. *)
-let conflict_factor (prog : Concrete.t) (s : Concrete.cstage) =
+let conflict_factor ctx (s : Concrete.cstage) =
   match List.rev s.loops with
   | [] -> 1.0
   | inner :: _ ->
-      let dt_bytes =
-        match s.role with
-        | Template.Load tensor -> (
-            match List.find_opt (fun (t : Op.tensor) -> t.tname = tensor) prog.op.inputs with
-            | Some t -> Op.dtype_bytes t.dt
-            | None -> 4)
-        | _ -> 4
-      in
+      let dt_bytes = stage_dt_bytes ctx s in
       let row_bytes = (inner.extent + s.align_pad) * dt_bytes in
       let words = row_bytes / 4 in
       if words = 0 then 1.0
@@ -118,77 +173,52 @@ let smem_block (desc : Descriptor.t) prog =
   |> List.fold_left (fun acc s -> acc + Concrete.footprint_bytes prog s) 0
 
 (* Off-chip and on-chip traffic in bytes for one full kernel. *)
-let traffic (desc : Descriptor.t) prog =
+let traffic ctx prog =
   let blocks = float_of_int (grid_blocks prog) in
-  let offchip_scopes =
-    match desc.family with
-    | Descriptor.Tensorcore -> [ "shared" ]
-    | Descriptor.Dlboost -> [ "l2" ]
-    | Descriptor.Vta -> [ "vta.inp"; "vta.wgt" ]
-  in
-  let onchip_scopes =
-    match desc.family with
-    | Descriptor.Tensorcore -> [ "wmma.a"; "wmma.b"; "wmma.acc" ]
-    | Descriptor.Dlboost -> [ "l1" ]
-    | Descriptor.Vta -> [ "vta.acc" ]
-  in
   let stage_traffic scopes weight_conflicts =
     prog.Concrete.stages
     |> List.filter (fun (s : Concrete.cstage) -> List.mem s.scope scopes)
     |> List.fold_left
          (fun acc (s : Concrete.cstage) ->
            let tile = float_of_int (Concrete.footprint_bytes prog s) in
-           let eff = vec_eff prog s in
-           let conflict = if weight_conflicts then conflict_factor prog s else 1.0 in
+           let eff = vec_eff ctx s in
+           let conflict = if weight_conflicts then conflict_factor ctx s else 1.0 in
            acc +. (blocks *. trips_in_block prog s *. tile *. conflict /. eff))
          0.0
   in
-  let out_bytes = float_of_int (Op.tensor_bytes prog.op.out) in
-  let input_bytes =
-    List.fold_left (fun acc t -> acc +. float_of_int (Op.tensor_bytes t)) 0.0 prog.op.inputs
-  in
-  let staged = stage_traffic offchip_scopes false in
+  let staged = stage_traffic ctx.offchip_scopes false in
   (* Programs without explicit cache stages still stream their inputs. *)
-  let offchip = (if staged > 0.0 then staged else input_bytes) +. out_bytes in
+  let offchip = (if staged > 0.0 then staged else ctx.input_bytes) +. ctx.out_bytes in
   (* DL Boost: a cache-friendly packed weight layout (e.g. OhwI16o4i)
      reduces effective traffic, as the paper reports (~30%). *)
   let offchip =
-    match (desc.family, Concrete.var_opt prog "packed_layout") with
+    match (ctx.desc.family, Concrete.var_opt prog "packed_layout") with
     | Descriptor.Dlboost, Some 1 -> offchip *. 0.72
     | _ -> offchip
   in
   (* On-chip traffic pays bank conflicts; untensorized programs stream from
      shared directly, modeled by the same stages. *)
-  let onchip = stage_traffic onchip_scopes true in
+  let onchip = stage_traffic ctx.onchip_scopes true in
   let onchip =
     if onchip > 0.0 then onchip
     else
       (* No explicit inner-scope stages: charge the shared-level tiles once
          more for the register streaming, conflicts included. *)
-      stage_traffic offchip_scopes true
+      stage_traffic ctx.offchip_scopes true
   in
   (offchip, onchip)
 
-let analyze (desc : Descriptor.t) prog =
+let analyze_ctx ctx prog =
+  Obs.Counter.incr c_evals;
+  let desc = ctx.desc in
   let points = total_points prog in
   let mnk = Concrete.tensorize_mnk prog in
   let flops = 2.0 *. points in
-  let rate_per_cycle =
-    match mnk with
-    | Some _ -> desc.intrin_flops_per_cycle
-    | None -> max desc.fallback_flops_per_cycle 1.0
-  in
   let blocks = grid_blocks prog in
   let warps = block_warps prog in
   (* Resident blocks per unit: limited by scratchpad capacity and warp slots. *)
   let smem = smem_block desc prog in
-  let smem_cap =
-    match desc.family with
-    | Descriptor.Tensorcore -> (
-        match Descriptor.scope_capacity desc "shared" with Some c -> c | None -> max_int)
-    | _ -> max_int
-  in
-  let by_smem = if smem <= 0 then 8 else max 1 (smem_cap / max smem 1) in
+  let by_smem = if smem <= 0 then 8 else max 1 (ctx.smem_cap / max smem 1) in
   let by_warps = max 1 (desc.max_warps_per_unit / max warps 1) in
   let blocks_per_unit = min 8 (min by_smem by_warps) in
   let concurrency = desc.units * blocks_per_unit in
@@ -202,15 +232,17 @@ let analyze (desc : Descriptor.t) prog =
   in
   let util = shape_eff mnk *. unroll_eff prog *. occupancy_eff *. tail_eff in
   let util = max util 1e-3 in
-  let peak_per_us = rate_per_cycle *. float_of_int desc.units *. desc.clock_ghz *. 1000.0 in
+  let peak_per_us =
+    match mnk with Some _ -> ctx.peak_intrin_per_us | None -> ctx.peak_fallback_per_us
+  in
   let compute_us = flops /. (peak_per_us *. util) in
-  let offchip, onchip = traffic desc prog in
-  let mem_us = offchip /. (desc.mem_bw_gbs *. 1000.0) in
-  let spm_us = onchip /. (desc.mem_bw_gbs *. desc.spm_bw_factor *. 1000.0) in
+  let offchip, onchip = traffic ctx prog in
+  let mem_us = offchip /. ctx.mem_denom in
+  let spm_us = onchip /. ctx.spm_denom in
   let dominant = max compute_us (max mem_us spm_us) in
   let rest = compute_us +. mem_us +. spm_us -. dominant in
   let raw = dominant +. (0.2 *. rest) +. desc.launch_overhead_us in
-  let key = desc.dname ^ "|" ^ Heron_csp.Assignment.key prog.Concrete.assignment in
+  let key = ctx.key_prefix ^ Heron_csp.Assignment.key prog.Concrete.assignment in
   let jitter = 1.0 +. (desc.noise *. Hashing.signed_unit key) in
   {
     compute_us;
@@ -224,6 +256,13 @@ let analyze (desc : Descriptor.t) prog =
     utilization = util;
   }
 
+let analyze (desc : Descriptor.t) (prog : Concrete.t) = analyze_ctx (make_ctx desc prog.op) prog
+
 let latency_us desc prog = (analyze desc prog).latency_us
+
+let latency_us_ctx ctx prog = (analyze_ctx ctx prog).latency_us
+
+let latency_batch ?pool ctx progs =
+  Heron_util.Pool.init ?pool (Array.length progs) (fun i -> latency_us_ctx ctx progs.(i))
 
 let achieved_tflops (op : Op.t) latency_us = op.flops /. latency_us /. 1e6

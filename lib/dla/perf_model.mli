@@ -25,5 +25,34 @@ val analyze : Descriptor.t -> Heron_sched.Concrete.t -> breakdown
 
 val latency_us : Descriptor.t -> Heron_sched.Concrete.t -> float
 
+(** {1 Batched evaluation}
+
+    Everything the model derives from the (descriptor, operator) pair alone
+    — scope lists, dtype sizes, bandwidth denominators, peak rates — can be
+    hoisted into a reusable context. Context-based evaluation is
+    value-identical to the scalar entry points: the cached floats are
+    produced by the exact expressions the scalar path uses. *)
+
+type ctx
+
+val make_ctx : Descriptor.t -> Heron_tensor.Op.t -> ctx
+(** Counts one [perf_model.ctx_builds]. *)
+
+val op_of : ctx -> Heron_tensor.Op.t
+(** The operator the context was built for; compare with [==] to decide
+    whether a cached context applies to a program. *)
+
+val analyze_ctx : ctx -> Heron_sched.Concrete.t -> breakdown
+(** [analyze] with the per-operator work pre-hoisted; counts one
+    [perf_model.evals] (as does every scalar [analyze]). *)
+
+val latency_us_ctx : ctx -> Heron_sched.Concrete.t -> float
+
+val latency_batch :
+  ?pool:Heron_util.Pool.t -> ctx -> Heron_sched.Concrete.t array -> float array
+(** Latency per program, optionally fanned out across the pool; output
+    order matches input order and every entry equals the scalar
+    [latency_us]. *)
+
 val achieved_tflops : Heron_tensor.Op.t -> float -> float
 (** [achieved_tflops op latency_us] from the operator's nominal flops. *)

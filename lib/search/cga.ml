@@ -130,7 +130,8 @@ let dedupe assignments =
       end)
     assignments
 
-let run ?(params = default_params) ?pool ?resilience ?resume ?on_snapshot env ~budget =
+let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_snapshot env
+    ~budget =
   (* At small budgets, shrink the measurement batch so the cost model still
      sees several train/predict rounds. *)
   let params =
@@ -139,8 +140,8 @@ let run ?(params = default_params) ?pool ?resilience ?resume ?on_snapshot env ~b
   let pool = Pool.resolve pool in
   let rec_ =
     match resume with
-    | None -> Env.Recorder.create ?resilience env ~budget
-    | Some s -> Env.Recorder.import ?resilience env ~budget s.s_recorder
+    | None -> Env.Recorder.create ?measure_batch ?resilience env ~budget
+    | Some s -> Env.Recorder.import ?measure_batch ?resilience env ~budget s.s_recorder
   in
   let model = Model.create env.Env.problem in
   (* Degraded candidates fall back to the model's predicted latency; the

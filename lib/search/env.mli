@@ -56,12 +56,24 @@ module Recorder : sig
       candidates. Searchers that train a cost model update this as the
       model refits. *)
 
-  val create : ?cache_cap:int -> ?resilience:resilience -> t -> budget:int -> r
+  val create :
+    ?cache_cap:int ->
+    ?measure_batch:(?pool:Heron_util.Pool.t -> Assignment.t array -> float option array) ->
+    ?resilience:resilience ->
+    t ->
+    budget:int ->
+    r
   (** [cache_cap] bounds the measurement cache (default 65536): beyond it,
       the oldest entries are evicted FIFO and counted on the
       [env.cache_evictions] metric. An evicted configuration costs a fresh
       measurement step if revisited, so the default is far above any
-      realistic campaign's distinct-configuration count. *)
+      realistic campaign's distinct-configuration count.
+
+      [measure_batch], when given, must agree with [t.measure] element by
+      element; {!eval_batch} then measures fresh candidates through it in
+      one dispatch (letting the provider reuse per-operator state) instead
+      of pool-mapping scalar calls. Ignored when [resilience] is installed
+      — retry sessions wrap each measurement individually. *)
 
   val exhausted : r -> bool
   val steps_left : r -> int
@@ -109,7 +121,14 @@ module Recorder : sig
 
   val export : r -> export
 
-  val import : ?cache_cap:int -> ?resilience:resilience -> t -> budget:int -> export -> r
+  val import :
+    ?cache_cap:int ->
+    ?measure_batch:(?pool:Heron_util.Pool.t -> Assignment.t array -> float option array) ->
+    ?resilience:resilience ->
+    t ->
+    budget:int ->
+    export ->
+    r
   (** Rebuild a recorder in exactly the exported state (cache in the same
       FIFO order, quarantine and degraded sets re-installed on
       [resilience] when given), so a resumed search continues

@@ -5,10 +5,13 @@ module Domain = Heron_csp.Domain
 module Problem = Heron_csp.Problem
 module Assignment = Heron_csp.Assignment
 module Features = Heron_cost.Features
+module Fmat = Heron_cost.Fmat
 module Tree = Heron_cost.Tree
 module Gbt = Heron_cost.Gbt
+module Gbt_ref = Heron_cost.Gbt_ref
 module Model = Heron_cost.Model
 module Rng = Heron_util.Rng
+module Obs = Heron_obs.Obs
 
 let toy_problem () =
   let b = Problem.builder () in
@@ -60,14 +63,14 @@ let mse predict xs ys =
 let test_tree_reduces_error () =
   let bins = [| 8; 8 |] in
   let xs, ys = synth_data ~n:200 ~bins (fun x -> float_of_int ((2 * x.(0)) - x.(1))) in
-  let tree = Tree.fit ~n_bins:bins xs ys in
+  let tree = Tree.fit ~n_bins:bins (Fmat.of_rows xs) ys in
   Alcotest.(check bool) "below half the variance" true
     (mse (Tree.predict tree) xs ys < 0.5 *. variance ys)
 
 let test_tree_constant_target () =
   let bins = [| 4 |] in
   let xs, ys = synth_data ~n:50 ~bins (fun _ -> 3.5) in
-  let tree = Tree.fit ~n_bins:bins xs ys in
+  let tree = Tree.fit ~n_bins:bins (Fmat.of_rows xs) ys in
   Alcotest.(check (float 1e-9)) "constant" 3.5 (Tree.predict tree [| 2 |]);
   Alcotest.(check int) "single leaf" 1 (Tree.n_nodes tree)
 
@@ -77,7 +80,8 @@ let test_tree_respects_depth () =
     synth_data ~n:400 ~bins (fun x -> float_of_int (x.(0) * x.(1)) +. float_of_int x.(2))
   in
   let tree =
-    Tree.fit ~params:{ Tree.default_params with Tree.max_depth = 2 } ~n_bins:bins xs ys
+    Tree.fit ~params:{ Tree.default_params with Tree.max_depth = 2 } ~n_bins:bins
+      (Fmat.of_rows xs) ys
   in
   Alcotest.(check bool) "depth bounded" true (Tree.depth tree <= 2)
 
@@ -85,8 +89,8 @@ let test_gbt_beats_single_tree () =
   let bins = [| 8; 8; 8 |] in
   let f x = float_of_int (x.(0) * x.(1)) -. (2.0 *. float_of_int x.(2)) in
   let xs, ys = synth_data ~n:300 ~bins f in
-  let tree = Tree.fit ~n_bins:bins xs ys in
-  let gbt = Gbt.fit ~n_bins:bins xs ys in
+  let tree = Tree.fit ~n_bins:bins (Fmat.of_rows xs) ys in
+  let gbt = Gbt.fit ~n_bins:bins (Fmat.of_rows xs) ys in
   Alcotest.(check bool) "boosting helps" true
     (mse (Gbt.predict gbt) xs ys < mse (Tree.predict tree) xs ys)
 
@@ -94,7 +98,7 @@ let test_gbt_importance_finds_signal () =
   let bins = [| 8; 8; 8; 8 |] in
   (* Only feature 1 matters. *)
   let xs, ys = synth_data ~n:300 ~bins (fun x -> 10.0 *. float_of_int x.(1)) in
-  let gbt = Gbt.fit ~n_bins:bins xs ys in
+  let gbt = Gbt.fit ~n_bins:bins (Fmat.of_rows xs) ys in
   let gains = Gbt.feature_gains gbt in
   let best = ref 0 in
   Array.iteri (fun i g -> if g > gains.(!best) then best := i) gains;
@@ -135,6 +139,86 @@ let test_key_variables_fallback () =
   let m = Model.create p in
   Alcotest.(check (list string)) "untrained fallback" [ "x"; "y" ] (Model.key_variables m 2)
 
+(* The flat engine must reproduce the frozen reference bit for bit:
+   identical fitted ensembles (canonical dumps) and identical predictions. *)
+let test_gbt_matches_reference () =
+  let bins = [| 8; 6; 8; 4 |] in
+  let f x = float_of_int (x.(0) * x.(1)) -. (2.0 *. float_of_int x.(2)) +. 0.3 in
+  let xs, ys = synth_data ~n:150 ~bins f in
+  let gbt = Gbt.fit ~n_bins:bins (Fmat.of_rows xs) ys in
+  let ref_gbt = Gbt_ref.fit ~n_bins:bins xs ys in
+  Alcotest.(check string) "identical dumps" (Gbt_ref.dump ref_gbt) (Gbt.dump gbt);
+  Array.iter
+    (fun x ->
+      Alcotest.(check (float 0.0)) "identical prediction" (Gbt_ref.predict ref_gbt x)
+        (Gbt.predict gbt x))
+    xs;
+  let gains = Gbt.feature_gains gbt and ref_gains = Gbt_ref.feature_gains ref_gbt in
+  Array.iteri
+    (fun i g -> Alcotest.(check (float 0.0)) "identical gains" ref_gains.(i) g)
+    gains
+
+(* Recording into a full window must not allocate proportionally to the
+   window: minor-heap words per record should match between a tiny and a
+   large window (the old list window rebuilt O(window) cells per insert). *)
+let test_record_constant_allocation () =
+  let p = toy_problem () in
+  let a = Assignment.of_list [ ("x", 4); ("y", 3); ("noise", 7) ] in
+  let words_per_record window =
+    let m = Model.create ~window p in
+    for _ = 1 to window do Model.record m a 1.0 done;
+    (* Window now full: measure steady-state insert cost. *)
+    let w0 = Gc.minor_words () in
+    for _ = 1 to 10_000 do Model.record m a 1.0 done;
+    (Gc.minor_words () -. w0) /. 10_000.0
+  in
+  let small = words_per_record 16 and large = words_per_record 2048 in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(1) record (small %.1f vs large %.1f words)" small large)
+    true
+    (large < small +. 16.0)
+
+let test_untrained_predict_batch_counts () =
+  let p = toy_problem () in
+  let m = Model.create p in
+  (* Counter.make is idempotent by name: this is the model's counter. *)
+  let c_calls = Obs.Counter.make "costmodel.predict_calls" in
+  let calls0 = Obs.Counter.value c_calls in
+  let out = Model.predict_batch m [ Assignment.of_list [ ("x", 2); ("y", 3); ("noise", 0) ] ] in
+  Alcotest.(check (list (float 0.0))) "untrained zeros" [ 0.0 ] out;
+  let calls1 = Obs.Counter.value c_calls in
+  Alcotest.(check int) "untrained path counted" (calls0 + 1) calls1
+
+let test_samples_restore_roundtrip () =
+  let p = toy_problem () in
+  let m = Model.create ~window:10 p in
+  let rng = Rng.create 11 in
+  for i = 1 to 25 do
+    let a =
+      Assignment.of_list
+        [ ("x", [| 1; 2; 4; 8; 16 |].(Rng.int rng 5)); ("y", 3); ("noise", i mod 10) ]
+    in
+    Model.record m a (float_of_int i)
+  done;
+  let snap = Model.samples m in
+  Alcotest.(check int) "snapshot capped" 10 (List.length snap);
+  Alcotest.(check (float 0.0)) "most recent first" 25.0 (snd (List.hd snap));
+  let m2 = Model.create ~window:10 p in
+  Model.restore m2 snap;
+  Alcotest.(check bool) "restore drops ensemble" false (Model.trained m2);
+  let snap2 = Model.samples m2 in
+  Alcotest.(check int) "round-trip length" (List.length snap) (List.length snap2);
+  List.iter2
+    (fun (b1, y1) (b2, y2) ->
+      Alcotest.(check (array int)) "bins round-trip" b1 b2;
+      Alcotest.(check (float 0.0)) "score round-trip" y1 y2)
+    snap snap2;
+  (* Refit after restore reproduces the exact ensemble of the original. *)
+  Model.refit m;
+  Model.refit m2;
+  let probe = Assignment.of_list [ ("x", 8); ("y", 3); ("noise", 4) ] in
+  Alcotest.(check (float 0.0)) "same prediction" (Model.predict m probe) (Model.predict m2 probe)
+
 let suite =
   [
     Alcotest.test_case "feature shape" `Quick test_features_shape;
@@ -148,4 +232,8 @@ let suite =
     Alcotest.test_case "model lifecycle" `Quick test_model_lifecycle;
     Alcotest.test_case "model window" `Quick test_model_window;
     Alcotest.test_case "key variable fallback" `Quick test_key_variables_fallback;
+    Alcotest.test_case "gbt matches reference" `Quick test_gbt_matches_reference;
+    Alcotest.test_case "O(1) record" `Quick test_record_constant_allocation;
+    Alcotest.test_case "untrained predict_batch counts" `Quick test_untrained_predict_batch_counts;
+    Alcotest.test_case "samples/restore round-trip" `Quick test_samples_restore_roundtrip;
   ]
