@@ -1,0 +1,221 @@
+module Op = Heron_tensor.Op
+module Assignment = Heron_csp.Assignment
+module Library = Heron.Library
+module Index = Heron_serving.Index
+module Store = Heron_serving.Store
+module Tuning_queue = Heron_serving.Tuning_queue
+module Rng = Heron_util.Rng
+
+let seed_pair = QCheck.pair QCheck.small_int QCheck.small_int
+let desc = Heron_dla.Descriptor.v100
+let dname = desc.Heron_dla.Descriptor.dname
+
+(* Non-power-of-two extents included on purpose: 24 and 48 bucket with 32
+   and 64, exercising the near-miss fallback. *)
+let dims = [| 8; 16; 24; 32; 48; 64 |]
+
+let random_op rng =
+  Op.gemm ~m:(Rng.choice rng dims) ~n:(Rng.choice rng dims) ~k:(Rng.choice rng dims) ()
+
+let random_library rng n =
+  let rec go lib ops i =
+    if i = 0 then (lib, ops)
+    else
+      let op = random_op rng in
+      let latency_us = float_of_int (1 + Rng.int rng 1000) /. 7. in
+      let a = Assignment.of_list [ ("tile", 1 + Rng.int rng 16) ] in
+      go (Library.add lib desc op ~latency_us a) (op :: ops) (i - 1)
+  in
+  go Library.empty [] n
+
+let entry_eq (a : Library.entry) (b : Library.entry) =
+  a.Library.op_key = b.Library.op_key
+  && a.Library.dla = b.Library.dla
+  && a.Library.latency_us = b.Library.latency_us
+  && Assignment.bindings a.Library.assignment = Assignment.bindings b.Library.assignment
+
+(* (a) The compiled index answers exactly like the naive oracle over the
+   library: exact entries hit, absent-but-bucketed shapes serve the
+   bucket's best entry, everything else misses. *)
+let index_equals_oracle ~count =
+  QCheck.Test.make ~name:"serve: index query equals the library-scan oracle" ~count seed_pair
+    (fun (seed, k) ->
+      let rng = Rng.create ((seed * 7919) + k) in
+      let lib, ops = random_library rng (4 + Rng.int rng 16) in
+      let snap = Index.build ~version:1 lib in
+      (* Bucket of each library entry, recovered from the ops that built it. *)
+      let bucket_of_key = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          let fk = Library.op_key op ^ "@" ^ dname in
+          match Index.bucket_key ~dla:dname op with
+          | Some b -> Hashtbl.replace bucket_of_key fk b
+          | None -> ())
+        ops;
+      let oracle op =
+        match Library.lookup lib desc op with
+        | Some e -> Index.Hit e
+        | None -> (
+            match Index.bucket_key ~dla:dname op with
+            | None -> Index.Miss
+            | Some b -> (
+                let cands =
+                  List.filter
+                    (fun (e : Library.entry) ->
+                      Hashtbl.find_opt bucket_of_key (e.Library.op_key ^ "@" ^ e.Library.dla)
+                      = Some b)
+                    (Library.entries lib)
+                in
+                let best =
+                  List.fold_left
+                    (fun acc (e : Library.entry) ->
+                      match acc with
+                      | None -> Some e
+                      | Some (w : Library.entry) ->
+                          if
+                            e.Library.latency_us < w.Library.latency_us
+                            || (e.Library.latency_us = w.Library.latency_us
+                               && e.Library.op_key < w.Library.op_key)
+                          then Some e
+                          else acc)
+                    None cands
+                in
+                match best with None -> Index.Miss | Some e -> Index.Near e))
+      in
+      let same op =
+        match (Index.query_op snap ~dla:dname op, oracle op) with
+        | Index.Hit a, Index.Hit b | Index.Near a, Index.Near b -> entry_eq a b
+        | Index.Miss, Index.Miss -> true
+        | _ -> false
+      in
+      let probes = ops @ List.init 12 (fun _ -> random_op rng) in
+      List.for_all same probes)
+
+let dir_counter = ref 0
+
+let fresh_dir prefix =
+  incr dir_counter;
+  Printf.sprintf "_sp_%s_%d" prefix !dir_counter
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* (b) Publish/reload round-trip: every publish is reloadable and
+   byte-identical, versions are monotone, and a garbage manifest degrades
+   to snapshot-scan recovery of the same state, never to data loss. *)
+let publish_reload_roundtrip ~count =
+  QCheck.Test.make ~name:"serve: store publish/reload round-trips (even past manifest garbage)"
+    ~count seed_pair (fun (seed, k) ->
+      let rng = Rng.create ((seed * 6271) + k) in
+      let dir = fresh_dir "store" in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let store = Store.open_ ~dir in
+      let publishes = 1 + (k mod 4) in
+      let ok = ref true in
+      let last = ref Library.empty in
+      for p = 1 to publishes do
+        let lib, _ = random_library rng (1 + Rng.int rng 8) in
+        last := lib;
+        let v = Store.publish store lib in
+        if v <> p then ok := false;
+        match Store.load_latest store with
+        | None -> ok := false
+        | Some l ->
+            if
+              l.Store.version <> p || l.Store.recovered
+              || l.Store.warnings <> []
+              || Library.to_string l.Store.library <> Library.to_string lib
+            then ok := false
+      done;
+      (* Trash the manifest; recovery must find the newest snapshot. *)
+      Out_channel.with_open_bin (Store.manifest_path store) (fun oc ->
+          Out_channel.output_string oc "{ not a manifest");
+      (match Store.load_latest store with
+      | None -> ok := false
+      | Some l ->
+          if
+            l.Store.version <> publishes
+            || (not l.Store.recovered)
+            || Library.to_string l.Store.library <> Library.to_string !last
+          then ok := false);
+      !ok)
+
+let families = [| "gemm/f16"; "gemm/f32"; "c2d/f16" |]
+
+let random_task rng =
+  {
+    Tuning_queue.t_dla = dname;
+    t_op_key =
+      Printf.sprintf "%s/i:%d,j:%d" (Rng.choice rng families) (Rng.choice rng dims)
+        (Rng.choice rng dims);
+  }
+
+let task_keys q = List.map Tuning_queue.task_key (Tuning_queue.tasks q)
+
+(* (c) Dedup: however many times a key misses while pending, exactly one
+   task exists for it, and the queue preserves first-miss order. *)
+let dedupe ~count =
+  QCheck.Test.make ~name:"serve: k misses on one pending key enqueue exactly one task" ~count
+    seed_pair (fun (seed, k) ->
+      let rng = Rng.create ((seed * 4969) + k) in
+      let stream = List.init (3 + Rng.int rng 24) (fun _ -> random_task rng) in
+      let q = Tuning_queue.create () in
+      let seen = Hashtbl.create 16 in
+      let accepts_ok =
+        List.for_all
+          (fun t ->
+            let key = Tuning_queue.task_key t in
+            let fresh = not (Hashtbl.mem seen key) in
+            Hashtbl.replace seen key ();
+            Tuning_queue.enqueue q t = fresh)
+          stream
+      in
+      let firsts =
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, seen) t ->
+                  let key = Tuning_queue.task_key t in
+                  if List.mem key seen then (acc, seen) else (key :: acc, key :: seen))
+                ([], []) stream))
+      in
+      accepts_ok && task_keys q = firsts
+      && List.for_all (Tuning_queue.mem q) firsts)
+
+(* (d) Crash-redo equality: checkpoint the queue after any prefix of the
+   miss stream, reload it, and replay the whole stream — dedup makes the
+   replay idempotent, so the final queue equals the uninterrupted one. *)
+let resume_any_checkpoint ~count =
+  QCheck.Test.make ~name:"serve: resume from any queue checkpoint equals uninterrupted" ~count
+    seed_pair (fun (seed, k) ->
+      let rng = Rng.create ((seed * 8191) + k) in
+      let stream = List.init (2 + Rng.int rng 16) (fun _ -> random_task rng) in
+      let full = Tuning_queue.create () in
+      List.iter (fun t -> ignore (Tuning_queue.enqueue full t)) stream;
+      let cut = k mod (List.length stream + 1) in
+      let prefix = List.filteri (fun i _ -> i < cut) stream in
+      let q1 = Tuning_queue.create () in
+      List.iter (fun t -> ignore (Tuning_queue.enqueue q1 t)) prefix;
+      incr dir_counter;
+      let path = Printf.sprintf "_sp_queue_%d.json" !dir_counter in
+      Fun.protect ~finally:(fun () -> rm_rf path) @@ fun () ->
+      Tuning_queue.save q1 ~path;
+      match Tuning_queue.load ~path with
+      | Error _ -> false
+      | Ok q2 ->
+          let roundtrip = task_keys q2 = task_keys q1 in
+          List.iter (fun t -> ignore (Tuning_queue.enqueue q2 t)) stream;
+          roundtrip && task_keys q2 = task_keys full)
+
+let tests ?(count = 20) () =
+  [
+    index_equals_oracle ~count;
+    publish_reload_roundtrip ~count:(max 1 (count / 2));
+    dedupe ~count;
+    resume_any_checkpoint ~count;
+  ]

@@ -7,4 +7,5 @@ let all ~budget =
     ("model", Model_props.tests ~count:(at (budget / 8)) ());
     ("search", Search_props.tests ~count:(at (budget / 15)) ());
     ("fault", Fault_props.tests ~count:(at (budget / 15)) ());
+    ("serve", Serve_props.tests ~count:(at (budget / 15)) ());
   ]

@@ -3,5 +3,5 @@
 
 val all : budget:int -> (string * QCheck.Test.t list) list
 (** Groups: ["diff"] and ["engine"] at [budget] cases, ["dla"] and
-    ["model"] at [budget / 8], ["search"] and ["fault"] at [budget / 15]
-    (all clamped to at least 1). *)
+    ["model"] at [budget / 8], ["search"], ["fault"] and ["serve"] at
+    [budget / 15] (all clamped to at least 1). *)

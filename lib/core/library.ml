@@ -63,23 +63,67 @@ let entry_to_line e =
           (fun (k, v) -> Printf.sprintf "%s=%d" k v)
           (Assignment.bindings e.assignment)))
 
-let entry_of_line line =
+let entry_of_line_result line =
   match String.split_on_char '|' line with
-  | [ op_key; dla; lat; bindings ] ->
-      let assignment =
-        if bindings = "" then Assignment.empty
-        else
-          String.split_on_char ',' bindings
-          |> List.map (fun kv ->
-                 match String.index_opt kv '=' with
-                 | Some i ->
-                     ( String.sub kv 0 i,
-                       int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)) )
-                 | None -> failwith ("Library.load: malformed binding " ^ kv))
-          |> Assignment.of_list
+  | [ op_key; dla; lat; bindings ] -> (
+      let binding_of kv =
+        match String.index_opt kv '=' with
+        | Some i -> (
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            match int_of_string_opt v with
+            | Some x -> Ok (String.sub kv 0 i, x)
+            | None -> Error (Printf.sprintf "binding %s: %S is not an integer" kv v))
+        | None -> Error (Printf.sprintf "malformed binding %s" kv)
       in
-      { op_key; dla; latency_us = float_of_string lat; assignment }
-  | _ -> failwith ("Library.load: malformed line " ^ line)
+      let rec bindings_of acc = function
+        | [] -> Ok (List.rev acc)
+        | kv :: rest -> (
+            match binding_of kv with
+            | Ok b -> bindings_of (b :: acc) rest
+            | Error _ as e -> e)
+      in
+      let bound =
+        if bindings = "" then Ok []
+        else bindings_of [] (String.split_on_char ',' bindings)
+      in
+      match (float_of_string_opt lat, bound) with
+      | None, _ -> Error (Printf.sprintf "latency %S is not a number" lat)
+      | _, Error e -> Error e
+      | Some latency_us, Ok bs ->
+          if op_key = "" then Error "empty op key"
+          else if dla = "" then Error "empty DLA name"
+          else Ok { op_key; dla; latency_us; assignment = Assignment.of_list bs })
+  | _ -> Error "expected op_key|dla|latency|bindings"
+
+type load_warning = { lw_line : int; lw_text : string; lw_reason : string }
+
+let warning_to_string w =
+  Printf.sprintf "line %d: %s (%s)" w.lw_line w.lw_reason w.lw_text
+
+(* Insert with the same best-wins policy as [add]: a duplicated key keeps
+   the entry with the lower latency, whatever the line order. *)
+let add_entry t e =
+  let key = e.op_key ^ "@" ^ e.dla in
+  match M.find_opt key t with
+  | Some old when old.latency_us <= e.latency_us -> t
+  | _ -> M.add key e t
+
+let of_string_lenient body =
+  let lines = String.split_on_char '\n' body in
+  let _, t, warnings =
+    List.fold_left
+      (fun (line_no, t, warnings) line ->
+        if String.trim line = "" then (line_no + 1, t, warnings)
+        else
+          match entry_of_line_result line with
+          | Ok e -> (line_no + 1, add_entry t e, warnings)
+          | Error reason ->
+              ( line_no + 1,
+                t,
+                { lw_line = line_no; lw_text = line; lw_reason = reason } :: warnings ))
+      (1, empty, []) lines
+  in
+  (t, List.rev warnings)
 
 let to_string t =
   entries t |> List.map entry_to_line |> String.concat "\n"
@@ -93,17 +137,13 @@ let save t path =
      raise e);
   close_out oc
 
+let load_result path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error (Printf.sprintf "Library.load: cannot read %s: %s" path e)
+  | body -> Ok (of_string_lenient body)
+
 let load path =
-  let ic = open_in path in
-  let rec read acc =
-    match input_line ic with
-    | line ->
-        let acc = if String.trim line = "" then acc else entry_of_line line :: acc in
-        read acc
-    | exception End_of_file -> acc
-  in
-  let items = read [] in
-  close_in ic;
-  List.fold_left
-    (fun t e -> M.add (e.op_key ^ "@" ^ e.dla) e t)
-    empty items
+  match load_result path with
+  | Error e -> failwith e
+  | Ok (t, []) -> t
+  | Ok (_, w :: _) -> failwith (Printf.sprintf "Library.load: %s: %s" path (warning_to_string w))

@@ -45,7 +45,23 @@ val build :
     skipped. *)
 
 val save : t -> string -> unit
+
 val load : string -> t
-(** @raise Failure on malformed files. *)
+(** Strict load. @raise Failure on unreadable files or the first malformed
+    line. Long-running consumers (the serve daemon) use {!load_result}. *)
+
+type load_warning = { lw_line : int; lw_text : string; lw_reason : string }
+(** One skipped line: its 1-based line number, raw text and the reason. *)
+
+val warning_to_string : load_warning -> string
+
+val load_result : string -> (t * load_warning list, string) result
+(** Lenient load: malformed lines are skipped and reported as warnings
+    instead of killing the caller; [Error] only when the file itself cannot
+    be read. Duplicated keys keep the lower-latency entry, whatever the
+    line order (the same best-wins policy as {!add}). *)
+
+val of_string_lenient : string -> t * load_warning list
+(** {!load_result} on an in-memory body; never fails. *)
 
 val to_string : t -> string

@@ -1,0 +1,57 @@
+(** The in-memory lookup index of the serve daemon: an immutable snapshot
+    of a published library compiled into flat sorted arrays, so the hit
+    path is one hash, one binary search and one string compare —
+    microseconds, allocation-free, and safe for any number of concurrent
+    reader domains because a snapshot is never mutated after {!build}.
+
+    The index cell itself is a single [Atomic.t] holding the current
+    snapshot: readers [Atomic.get] (lock-free, wait-free), the single
+    writer swaps in a freshly built snapshot whose version must be
+    strictly greater — a reader therefore observes a monotone version
+    sequence and never a torn state. *)
+
+module Op = Heron_tensor.Op
+module Library = Heron.Library
+
+type snapshot
+
+val build : version:int -> Library.t -> snapshot
+(** Compile a library into an immutable snapshot. *)
+
+val version : snapshot -> int
+val size : snapshot -> int
+
+(** A pre-resolved lookup key: the exact full key plus the shape bucket
+    used for near-miss fallback. Computing it costs a few [sprintf]s, so
+    traffic generators resolve each distinct operator once up front and
+    the hot path pays only the probe. *)
+type probe = { p_key : string; p_bucket : string option }
+
+val probe : dla:string -> Op.t -> probe
+
+val bucket_key : dla:string -> Op.t -> string option
+(** The shape bucket of an operator: every iterator extent rounded up to
+    the next power of two. Operators in one bucket are "near" shapes. *)
+
+type outcome =
+  | Hit of Library.entry  (** exact (descriptor, op, shape) entry *)
+  | Near of Library.entry
+      (** no exact entry; serving the best entry of the same shape bucket *)
+  | Miss
+
+val query : snapshot -> probe -> outcome
+val query_op : snapshot -> dla:string -> Op.t -> outcome
+(** [query_op] is [query snap (probe ~dla op)]. *)
+
+val find : snapshot -> string -> Library.entry option
+(** Exact lookup by full key ([op_key ^ "@" ^ dla]). *)
+
+(** The published-snapshot cell. *)
+type t
+
+val create : snapshot -> t
+val current : t -> snapshot
+
+val publish : t -> snapshot -> unit
+(** Swap in a newer snapshot.
+    @raise Invalid_argument if its version is not strictly greater. *)

@@ -1,0 +1,122 @@
+module Library = Heron.Library
+module Json = Heron_obs.Json
+module Obs = Heron_obs.Obs
+module Atomic_io = Heron_util.Atomic_io
+module Hashing = Heron_util.Hashing
+
+let c_publishes = Obs.Counter.make "serve.publishes"
+let c_recoveries = Obs.Counter.make "serve.store_recoveries"
+
+let manifest_version = 1
+
+type t = { dir : string }
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let open_ ~dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+let manifest_path t = Filename.concat t.dir "MANIFEST.json"
+let snapshot_name version = Printf.sprintf "lib-%06d.heron" version
+let snapshot_path t version = Filename.concat t.dir (snapshot_name version)
+let checksum body = Printf.sprintf "%016Lx" (Hashing.fnv1a body)
+
+(* Snapshot files present on disk, by the version embedded in their name. *)
+let versions t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match Scanf.sscanf_opt name "lib-%06d.heron%!" (fun v -> v) with
+         | Some v when snapshot_name v = name -> Some v
+         | _ -> None)
+  |> List.sort compare
+
+type loaded = {
+  version : int;
+  library : Library.t;
+  recovered : bool;
+  warnings : Library.load_warning list;
+}
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | body -> Some body
+  | exception Sys_error _ -> None
+
+(* The manifest's view of the latest snapshot, when it is internally
+   consistent (readable, right schema, file present, checksum matches). *)
+let manifest_latest t =
+  match read_file (manifest_path t) with
+  | None -> None
+  | Some body -> (
+      match Json.parse (String.trim body) with
+      | Error _ -> None
+      | Ok v -> (
+          let int_field name = Option.bind (Json.member name v) Json.to_int_opt in
+          let str_field name = Option.bind (Json.member name v) Json.to_string_opt in
+          match (int_field "heron_store", int_field "version", str_field "file", str_field "checksum") with
+          | Some mv, Some version, Some file, Some sum when mv = manifest_version -> (
+              match read_file (Filename.concat t.dir file) with
+              | Some snap when checksum snap = sum -> Some (version, snap)
+              | _ -> None)
+          | _ -> None))
+
+let load_latest t =
+  match manifest_latest t with
+  | Some (version, body) ->
+      let library, warnings = Library.of_string_lenient body in
+      Some { version; library; recovered = false; warnings }
+  | None -> (
+      (* Recovery: newest snapshot that reads and parses. Snapshot files are
+         written atomically so they cannot be torn, but a hand-edited or
+         half-deleted store still degrades gracefully here. *)
+      let rec scan = function
+        | [] -> None
+        | version :: older -> (
+            match read_file (snapshot_path t version) with
+            | None -> scan older
+            | Some body ->
+                let library, warnings = Library.of_string_lenient body in
+                Obs.Counter.incr c_recoveries;
+                Some { version; library; recovered = true; warnings })
+      in
+      match scan (List.rev (versions t)) with
+      | Some _ as r -> r
+      | None -> None)
+
+let current_version t =
+  let manifest_v = match manifest_latest t with Some (v, _) -> v | None -> 0 in
+  List.fold_left max manifest_v (versions t)
+
+let publish ?(keep = 4) t lib =
+  Obs.with_span "serve.publish" (fun () ->
+      let version = current_version t + 1 in
+      let body = Library.to_string lib in
+      Atomic_io.write_string ~path:(snapshot_path t version) body;
+      let manifest =
+        Json.Obj
+          [
+            ("heron_store", Json.Int manifest_version);
+            ("version", Json.Int version);
+            ("file", Json.String (snapshot_name version));
+            ("checksum", Json.String (checksum body));
+            ("entries", Json.Int (Library.size lib));
+          ]
+      in
+      Atomic_io.write_string ~path:(manifest_path t) (Json.to_string manifest ^ "\n");
+      Obs.Counter.incr c_publishes;
+      (* Retention: the published snapshot plus at most [keep - 1] older
+         ones. Pruning after the manifest rename keeps every crash window
+         recoverable. *)
+      List.iter
+        (fun v ->
+          if v <= version - keep then
+            try Sys.remove (snapshot_path t v) with Sys_error _ -> ())
+        (versions t);
+      version)

@@ -1,0 +1,47 @@
+(** Versioned on-disk schedule store: monotonically numbered immutable
+    library snapshots plus a manifest naming the latest one.
+
+    Publishing writes the snapshot file first, then the manifest, both
+    through {!Heron_util.Atomic_io} (tmp + rename) — a crash at any instant
+    leaves either the previous published state or the new one, never a torn
+    or regressed library. Startup loads the manifest's snapshot after
+    verifying its checksum; an unreadable or lying manifest falls back to
+    scanning the snapshot files in descending version order and taking the
+    newest one that parses. *)
+
+module Library = Heron.Library
+
+type t
+
+val open_ : dir:string -> t
+(** Opens (creating if needed) the store directory. Never loads anything. *)
+
+val dir : t -> string
+
+type loaded = {
+  version : int;
+  library : Library.t;
+  recovered : bool;
+      (** the manifest was missing/corrupt and a snapshot scan recovered
+          the state *)
+  warnings : Library.load_warning list;  (** skipped snapshot lines *)
+}
+
+val load_latest : t -> loaded option
+(** The latest valid published state, or [None] for an empty store. Never
+    raises: corruption degrades to recovery, recovery degrades to [None]. *)
+
+val publish : ?keep:int -> t -> Library.t -> int
+(** Atomically publishes the library as the next version (monotone even
+    across manifest corruption: 1 + the max of the manifest version and
+    every snapshot file version on disk) and returns it. [keep] (default 4)
+    bounds how many older snapshot files are retained. Counts on the
+    [serve.publishes] counter inside a [serve.publish] span. *)
+
+val versions : t -> int list
+(** Snapshot versions present on disk, ascending. *)
+
+val snapshot_path : t -> int -> string
+(** Path of one version's snapshot file (for tests). *)
+
+val manifest_path : t -> string

@@ -1,0 +1,31 @@
+module Rng = Heron_util.Rng
+
+type t = { cdf : float array; rng : Rng.t }
+
+let create ~rng ~n ~s =
+  if n < 1 then invalid_arg "Traffic.create: n must be >= 1";
+  if s < 0.0 then invalid_arg "Traffic.create: s must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (float_of_int (i + 1) ** -.s);
+    cdf.(i) <- !total
+  done;
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. !total
+  done;
+  { cdf; rng }
+
+let next t =
+  let u = Rng.float t.rng in
+  (* First rank whose cumulative weight exceeds the draw. *)
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) <= u then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  min (bsearch 0 (Array.length t.cdf - 1)) (Array.length t.cdf - 1)
+
+let weight t i =
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

@@ -1,0 +1,19 @@
+(** Synthetic serve traffic: a seeded Zipf-distributed request stream over
+    a fixed universe of operators, modelling the few-hot-many-cold shape
+    popularity of production inference fleets.
+
+    Draws consume exactly one [Rng.float] each and the CDF is precomputed,
+    so two streams with equal seeds are identical whatever else the
+    process does — the basis of the serve determinism tests. *)
+
+type t
+
+val create : rng:Heron_util.Rng.t -> n:int -> s:float -> t
+(** Zipf over ranks [0 .. n-1]: rank [i] has weight [(i+1) ** -s].
+    [s = 0.] degenerates to uniform. Requires [n >= 1] and [s >= 0.]. *)
+
+val next : t -> int
+(** Draw the next rank. *)
+
+val weight : t -> int -> float
+(** Normalized probability of one rank (for reports/tests). *)

@@ -1,0 +1,100 @@
+module Json = Heron_obs.Json
+module Atomic_io = Heron_util.Atomic_io
+
+type task = { t_dla : string; t_op_key : string }
+
+let task_key t = t.t_op_key ^ "@" ^ t.t_dla
+
+(* cname/dt of the op_key plus the DLA: the batching group. A key too
+   corrupt to split keeps its full text, which simply forms its own
+   singleton family. *)
+let family t =
+  match String.split_on_char '/' t.t_op_key with
+  | cname :: dt :: _ -> cname ^ "/" ^ dt ^ "@" ^ t.t_dla
+  | _ -> t.t_op_key ^ "@" ^ t.t_dla
+
+(* Pending is a plain list in FIFO order: the queue is bounded by the
+   number of distinct (op, DLA) keys a daemon can see, so clarity beats
+   asymptotics here. *)
+type t = { mutable pending : task list; keys : (string, unit) Hashtbl.t }
+
+let create () = { pending = []; keys = Hashtbl.create 64 }
+let length t = List.length t.pending
+let is_empty t = t.pending = []
+let mem t key = Hashtbl.mem t.keys key
+let tasks t = t.pending
+
+let enqueue t task =
+  let key = task_key task in
+  if Hashtbl.mem t.keys key then false
+  else begin
+    Hashtbl.replace t.keys key ();
+    t.pending <- t.pending @ [ task ];
+    true
+  end
+
+let peek_family t ~max =
+  match t.pending with
+  | [] -> []
+  | head :: _ ->
+      let fam = family head in
+      let rec take n = function
+        | [] -> []
+        | task :: rest ->
+            if n = 0 then []
+            else if family task = fam then task :: take (n - 1) rest
+            else take n rest
+      in
+      take (Stdlib.max 1 max) t.pending
+
+let remove t done_tasks =
+  let gone = List.map task_key done_tasks in
+  List.iter (Hashtbl.remove t.keys) gone;
+  t.pending <- List.filter (fun task -> not (List.mem (task_key task) gone)) t.pending
+
+(* ---------- checkpoint ---------- *)
+
+let version = 1
+
+let save t ~path =
+  let json =
+    Json.Obj
+      [
+        ("heron_queue", Json.Int version);
+        ( "tasks",
+          Json.List
+            (List.map
+               (fun task -> Json.List [ Json.String task.t_dla; Json.String task.t_op_key ])
+               t.pending) );
+      ]
+  in
+  Atomic_io.write_string ~path (Json.to_string json ^ "\n")
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error (Printf.sprintf "queue: cannot read %s: %s" path e)
+  | content -> (
+      match Json.parse (String.trim content) with
+      | Error e -> Error (Printf.sprintf "queue: %s: invalid JSON: %s" path e)
+      | Ok v -> (
+          match Json.member "heron_queue" v with
+          | Some (Json.Int ver) when ver = version -> (
+              match Json.member "tasks" v with
+              | Some (Json.List items) ->
+                  let rec dec i acc = function
+                    | [] -> Ok (List.rev acc)
+                    | Json.List [ Json.String dla; Json.String op_key ] :: rest ->
+                        dec (i + 1) ({ t_dla = dla; t_op_key = op_key } :: acc) rest
+                    | _ ->
+                        Error (Printf.sprintf "queue: tasks[%d]: expected [dla, op_key]" i)
+                  in
+                  Result.map
+                    (fun tasks ->
+                      let t = create () in
+                      List.iter (fun task -> ignore (enqueue t task)) tasks;
+                      t)
+                    (dec 0 [] items)
+              | _ -> Error "queue: missing \"tasks\" array")
+          | Some (Json.Int ver) ->
+              Error (Printf.sprintf "queue: unsupported version %d (this build reads %d)" ver version)
+          | _ -> Error "queue: not a Heron queue checkpoint (missing \"heron_queue\")"))

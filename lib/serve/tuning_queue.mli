@@ -1,0 +1,48 @@
+(** The background tuning queue: cache misses become tuning tasks, FIFO,
+    deduplicated by full key (a key that is already pending never enqueues
+    a second task, however many concurrent misses race on it).
+
+    The queue checkpoints to an atomically-written JSON file. The daemon
+    saves it on every accepted task and again after every published batch
+    (with the batch removed), so a killed daemon resumes exactly the work
+    it had left — and because tuning is deterministic per key, re-running
+    a batch that was already published is idempotent. *)
+
+type task = { t_dla : string; t_op_key : string }
+
+val task_key : task -> string
+(** [op_key ^ "@" ^ dla] — the same full key the library and index use. *)
+
+val family : task -> string
+(** Batching group: operator kind + dtype + DLA ([cname/dt@dla]), shape
+    ignored — the similar-shape tasks that share one warm-started model. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val enqueue : t -> task -> bool
+(** [false] when the key is already pending (deduplicated). *)
+
+val mem : t -> string -> bool
+(** Whether a full key is pending. *)
+
+val tasks : t -> task list
+(** Pending tasks, FIFO order. *)
+
+val peek_family : t -> max:int -> task list
+(** The head task plus up to [max - 1] later pending tasks of the same
+    {!family}, in queue order. Does not remove them. *)
+
+val remove : t -> task list -> unit
+(** Drop completed tasks (by key) from the queue. *)
+
+val version : int
+
+val save : t -> path:string -> unit
+(** Atomic (tmp + rename) JSON checkpoint of the pending list. *)
+
+val load : path:string -> (t, string) result
+(** Restore a checkpoint; diagnostics name the offending field. *)

@@ -28,6 +28,7 @@ let suites =
     ("extensions", Test_extensions.suite);
     ("experiments", Test_experiments.suite);
     ("check", Test_check.suite);
+    ("serve", Test_serve.suite);
   ]
 
 let names_of env =
