@@ -105,6 +105,57 @@ let fig11_cmd =
               print (E.Exp_space.fig11 ~samples ~seed ())))
       $ samples_arg $ seed_arg $ trace_arg $ metrics_arg)
 
+let nets_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the machine-readable benchmark JSON to $(docv) (atomically).")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit with status 1 unless every gate passes (gradient beats round-robin, transfer \
+             reaches the convergence threshold no slower than cold, pooled and pool-less runs \
+             are identical).")
+  in
+  let net_arg =
+    Arg.(
+      value & opt string "mini"
+      & info [ "network" ] ~docv:"NAME"
+          ~doc:"Network to tune (tiny|mini|resnet-50|vgg-16|inception-v3|bert).")
+  in
+  let lenient_arg =
+    Arg.(
+      value & flag
+      & info [ "lenient" ]
+          ~doc:
+            "Relax the scheduling gate to gradient-no-worse-than-round-robin (for tiny workloads \
+             where both policies saturate).")
+  in
+  let run budget seed jobs net lenient trace metrics out gate =
+    with_jobs jobs @@ fun () ->
+    with_obs ~seed ~budget:(Some budget) ~jobs trace metrics @@ fun () ->
+    match E.Exp_nets.run ~budget ~seed ~net ~strict:(not lenient) ?out () with
+    | exception Invalid_argument e ->
+        prerr_endline e;
+        exit 2
+    | report, ok ->
+        print report;
+        if gate && not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "nets"
+       ~doc:
+         "Whole-network tuning: gradient budget allocation vs round-robin at equal budget, plus \
+          the cross-task transfer ablation.")
+    Term.(
+      const run $ budget_arg 80 $ seed_arg $ jobs_arg $ net_arg $ lenient_arg $ trace_arg
+      $ metrics_arg $ out_arg $ gate_arg)
+
 let all_cmd =
   let run budget seed jobs trace metrics faults =
     with_faults faults @@ fun () ->
@@ -170,6 +221,7 @@ let cmds =
     budgeted_cmd "ablation" "CGA knob + propagation ablations (DESIGN.md)." 200
       (fun ~budget ~seed () ->
         E.Exp_ablation.cga_knobs ~budget ~seed () ^ "\n" ^ E.Exp_ablation.propagation ~seed ());
+    nets_cmd;
     all_cmd;
   ]
 

@@ -50,10 +50,72 @@ let op_of ~kind ~dims ~dt =
         "usage: gemm M N K | bmm B M N K | gemv M K | c1d N CI L CO KL S P | \
          c2d N CI H W CO KH KW S P | scan B L"
 
-let run dla kind dims dt trials seed jobs trace metrics faults checkpoint resume kill_after =
+(* Whole-network mode: extract tasks, let the gradient scheduler slice
+   the budget, print the per-task allocation and the end-to-end latency. *)
+let run_network desc name ~budget ~seed ~jobs ~slice ~policy ~transfer trace metrics checkpoint
+    resume kill_after =
+  match Heron_nets.Models.find name with
+  | None ->
+      Printf.eprintf "unknown network %S (tiny|mini|resnet-50|vgg-16|inception-v3|bert)\n" name;
+      2
+  | Some net ->
+      Printf.printf "tuning network %s on %s (budget %d, slice %d, seed %d, %d jobs, %s%s)\n%!"
+        net.Heron_nets.Models.net_name desc.D.dname budget slice seed (max 1 jobs)
+        (match policy with
+        | Heron_nets.Scheduler.Round_robin -> "round-robin"
+        | _ -> "gradient")
+        (if transfer then ", transfer" else ", no transfer");
+      let manifest =
+        Obs.manifest ~tool:"heron_tune" ~seed ~descriptor:desc.D.dname
+          ~op:net.Heron_nets.Models.net_name ~budget ~jobs:(max 1 jobs) ()
+      in
+      (match
+         Obs.with_trace trace manifest (fun () ->
+             with_jobs jobs (fun pool ->
+                 Heron_nets.Tuner.tune ~budget ~seed ~slice ~policy ~transfer ?pool ?checkpoint
+                   ?resume ?kill_after desc net))
+       with
+      | exception Invalid_argument e ->
+          prerr_endline e;
+          2
+      | r ->
+          if metrics then print_string (Obs.metrics_report ());
+          List.iter
+            (fun tr ->
+              Printf.printf "  %-40s rounds %2d  trials %4d  steps %4d  best %s%s\n"
+                (Heron_nets.Tasks.to_string tr.Heron_nets.Tuner.tr_task)
+                tr.Heron_nets.Tuner.tr_rounds tr.Heron_nets.Tuner.tr_alloc
+                tr.Heron_nets.Tuner.tr_steps
+                (match tr.Heron_nets.Tuner.tr_best with
+                | None -> "none"
+                | Some b -> Printf.sprintf "%.2f us" b)
+                (if tr.Heron_nets.Tuner.tr_transferred then "  (transferred)" else ""))
+            r.Heron_nets.Tuner.r_reports;
+          Printf.printf "measurements: %d\n" r.Heron_nets.Tuner.r_measurements;
+          (match r.Heron_nets.Tuner.r_latency_us with
+          | None -> print_endline "no end-to-end latency (some task has no valid schedule)"
+          | Some l -> Printf.printf "end-to-end latency: %.2f us\n" l);
+          0)
+
+let run dla network kind dims dt trials seed jobs slice round_robin no_transfer trace metrics
+    faults checkpoint resume kill_after =
   match desc_of_string dla with
   | Error e -> prerr_endline e; 2
   | Ok desc -> (
+      match network with
+      | Some name ->
+          let policy =
+            if round_robin then Heron_nets.Scheduler.Round_robin
+            else Heron_nets.Scheduler.Gradient
+          in
+          run_network desc name ~budget:trials ~seed ~jobs ~slice ~policy
+            ~transfer:(not no_transfer) trace metrics checkpoint resume kill_after
+      | None -> (
+      match kind with
+      | None ->
+          prerr_endline "an operator (e.g. gemm 1024 1024 1024) or --network NAME is required";
+          2
+      | Some kind ->
       match op_of ~kind ~dims ~dt with
       | Error e -> prerr_endline e; 2
       | Ok op ->
@@ -102,11 +164,22 @@ let run dla kind dims dt trials seed jobs trace metrics faults checkpoint resume
                   print_string (Heron_dla.Explain.report desc prog);
                   print_newline ();
                   print_string (Heron.Codegen.emit desc prog));
-          0)
+          0))
 
 let () =
   let dla = Arg.(value & opt string "v100" & info [ "dla" ] ~docv:"DLA") in
-  let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"OP") in
+  let network =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "network" ] ~docv:"NAME"
+          ~doc:
+            "Tune a whole network (tiny|mini|resnet-50|vgg-16|inception-v3|bert) instead of one \
+             operator: the measurement budget ($(b,--trials)) is sliced across the network's \
+             distinct tasks by a gradient-based scheduler and the winners are assembled into one \
+             library.")
+  in
+  let kind = Arg.(value & pos 0 (some string) None & info [] ~docv:"OP") in
   let dims = Arg.(value & pos_right 0 int [] & info [] ~docv:"DIMS") in
   let dt = Arg.(value & opt string "f16" & info [ "dtype" ] ~docv:"DT") in
   let trials = Arg.(value & opt int 200 & info [ "trials"; "t" ] ~docv:"N") in
@@ -137,6 +210,28 @@ let () =
       value & flag
       & info [ "metrics" ]
           ~doc:"Print solver/search/pool counter totals after tuning.")
+  in
+  let slice =
+    Arg.(
+      value & opt int 16
+      & info [ "slice" ] ~docv:"N"
+          ~doc:"Network mode: measurement trials per scheduler round (default 16).")
+  in
+  let round_robin =
+    Arg.(
+      value & flag
+      & info [ "round-robin" ]
+          ~doc:
+            "Network mode ablation: allocate rounds cyclically instead of by estimated marginal \
+             end-to-end gain.")
+  in
+  let no_transfer =
+    Arg.(
+      value & flag
+      & info [ "no-transfer" ]
+          ~doc:
+            "Network mode ablation: disable cross-task cost-model transfer; every task's search \
+             starts cold.")
   in
   let faults =
     Arg.(
@@ -182,8 +277,8 @@ let () =
   in
   let term =
     Term.(
-      const run $ dla $ kind $ dims $ dt $ trials $ seed $ jobs $ trace $ metrics $ faults
-      $ checkpoint $ resume $ kill_after)
+      const run $ dla $ network $ kind $ dims $ dt $ trials $ seed $ jobs $ slice $ round_robin
+      $ no_transfer $ trace $ metrics $ faults $ checkpoint $ resume $ kill_after)
   in
   let info = Cmd.info "heron_tune" ~doc:"Tune one operator with Heron on a simulated DLA." in
   exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,6 @@
+(** Properties of the whole-network tuner: scheduler budget conservation
+    and warmup, constant-gain/round-robin equivalence, transfer layout
+    soundness, and driver inertness (no-transfer tuning is byte-identical
+    to hand-rolled chunked CGA runs with the same allocation). *)
+
+val tests : ?count:int -> unit -> QCheck.Test.t list

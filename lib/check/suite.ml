@@ -8,4 +8,5 @@ let all ~budget =
     ("search", Search_props.tests ~count:(at (budget / 15)) ());
     ("fault", Fault_props.tests ~count:(at (budget / 15)) ());
     ("serve", Serve_props.tests ~count:(at (budget / 15)) ());
+    ("nets", Nets_props.tests ~count:(at (budget / 15)) ());
   ]

@@ -48,6 +48,18 @@ let bin_of boundaries v =
 let binned t a =
   Array.mapi (fun i name -> bin_of t.boundaries.(i) (value_of a name)) t.feat_names
 
+let bin_value t i b =
+  let bounds = t.boundaries.(i) in
+  let n = Array.length bounds in
+  if n = 0 then 0 else bounds.(max 0 (min b (n - 1)))
+
+let max_value t i =
+  let bounds = t.boundaries.(i) in
+  let n = Array.length bounds in
+  if n = 0 then 1 else max 1 bounds.(n - 1)
+
+let bin_of_value t i v = bin_of t.boundaries.(i) v
+
 let bin_row t a m r =
   for i = 0 to Array.length t.feat_names - 1 do
     Fmat.set m r i (bin_of t.boundaries.(i) (value_of a t.feat_names.(i)))

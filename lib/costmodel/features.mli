@@ -32,3 +32,24 @@ val bin_row : t -> Assignment.t -> Fmat.t -> int -> unit
 (** [bin_row t a m r] bins assignment [a] directly into row [r] of the
     flat matrix [m] — the batch-binning path of {!Model}; equivalent to
     writing {!binned} into the row, without the intermediate array. *)
+
+(** {2 Shape-invariant helpers}
+
+    Cross-task cost-model transfer ({!Transfer}) needs to move a training
+    window between tasks with different extents. These expose the bin
+    geometry: a bin's representative raw value and the feature's largest
+    domain value (the task extent the transfer layer normalizes by). *)
+
+val bin_value : t -> int -> int -> int
+(** [bin_value t i b] is the raw variable value at the lower boundary of
+    bin [b] of feature [i] (0 when the feature has no boundaries). Out-of-
+    range [b] is clamped into the feature's bin range. *)
+
+val max_value : t -> int -> int
+(** Largest bin-boundary value of feature [i] — the extent normalizer
+    (the largest value the binning can represent). At least 1, so it is
+    always safe to divide by. *)
+
+val bin_of_value : t -> int -> int -> int
+(** [bin_of_value t i v] is the bin index a raw value [v] of feature [i]
+    falls into: the highest bin whose boundary does not exceed [v]. *)

@@ -134,6 +134,16 @@ let key_variables t k =
 
 let n_samples t = t.count
 
+let n_features t = t.nf
+
+let layout_ok t bins =
+  Array.length bins = t.nf
+  &&
+  let nb = Features.n_bins t.features in
+  let ok = ref true in
+  Array.iteri (fun i b -> if b < 0 || b >= nb.(i) then ok := false) bins;
+  !ok
+
 let samples t = List.init t.count (fun k -> (Fmat.row t.ring (slot t k), t.ring_y.(slot t k)))
 
 let restore t data =

@@ -44,6 +44,15 @@ val key_variables : t -> int -> string list
 
 val n_samples : t -> int
 
+val n_features : t -> int
+(** Number of features (problem variables) this model bins on. *)
+
+val layout_ok : t -> int array -> bool
+(** Whether a binned row fits this model's feature layout: exactly
+    {!n_features} cells, each within its feature's bin range. The guard
+    {!Heron_search.Cga.run} applies to every resumed or transferred
+    window sample. *)
+
 val samples : t -> (int array * float) list
 (** The stored training window, most recent first: binned feature vectors
     paired with fitness scores. For checkpointing. *)

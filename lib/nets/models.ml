@@ -88,7 +88,40 @@ let bert =
       ];
   }
 
+(* Two-task toy network for tests and the @nets-quick gate: duplicate
+   32-cubed GEMM layers that must dedup with summed weights, plus one
+   distinct shape. Small enough that a budget of a few dozen trials tunes
+   both tasks in seconds. *)
+let tiny =
+  {
+    net_name = "Tiny";
+    layers = [ (2, gemm 32 32 32); (1, gemm 48 48 32); (1, gemm 32 32 32) ];
+  }
+
+(* Miniature for the nets benchmark: one heavy, large-space task (whose
+   latency keeps improving with budget — the gradient scheduler's
+   favorable regime), one lighter same-family neighbour (the transfer
+   target) and one tiny cross-family task, with strongly skewed weights. *)
+let mini =
+  {
+    net_name = "Mini";
+    layers =
+      [
+        (12, gemm 256 256 256);
+        (2, gemm 192 192 192);
+        (1, Op.bmm ~b:4 ~m:32 ~n:32 ~k:32 ());
+      ];
+  }
+
 let all = [ resnet50; vgg16; inception_v3; bert ]
+
+let find name =
+  let canon s =
+    String.lowercase_ascii s
+    |> String.map (function '-' | '_' | ' ' -> '.' | c -> c)
+  in
+  let want = canon name in
+  List.find_opt (fun n -> canon n.net_name = want) (tiny :: mini :: all)
 
 let total_flops net =
   List.fold_left

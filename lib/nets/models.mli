@@ -15,6 +15,21 @@ val vgg16 : network
 val inception_v3 : network
 val bert : network
 
+val tiny : network
+(** Two-task toy network (duplicate layers included) for tests and the
+    [@nets-quick] gate. *)
+
+val mini : network
+(** Three-task, weight-skewed miniature for the [@bench-nets]
+    comparison. *)
+
 val all : network list
+(** The four evaluated networks ({!tiny}/{!mini} are test fixtures, not
+    part of the paper suite). *)
+
+val find : string -> network option
+(** Case- and separator-insensitive lookup by name over {!all} plus
+    {!tiny} and {!mini} (["resnet-50"], ["ResNet_50"] and ["resnet.50"]
+    all resolve). *)
 
 val total_flops : network -> float

@@ -1,0 +1,296 @@
+module Json = Heron_obs.Json
+
+type policy = Gradient | Round_robin | Custom of (view -> float)
+
+and view = {
+  v_id : int;
+  v_weight : float;
+  v_rounds : int;
+  v_alloc : int;
+  v_best : float option;
+  v_prev_best : float option;
+  v_done : bool;
+}
+
+type slot = {
+  weight : float;
+  mutable rounds : int;
+  mutable alloc : int;
+  mutable best : float option;
+  mutable prev_best : float option;
+  mutable delta : float;  (** projected next-round latency gain, us *)
+  mutable done_ : bool;
+  mutable last_round : int;  (** global round index last scheduled, -1 never *)
+}
+
+type t = {
+  policy : policy;
+  slice : int;
+  warmup : int;
+  mutable remaining : int;
+  mutable round : int;  (** rounds committed so far *)
+  mutable rr : int;  (** round-robin scan origin *)
+  slots : slot array;
+}
+
+let version = 1
+
+let create ?(policy = Gradient) ?(slice = 16) ?(warmup = 1) ~budget weights =
+  if Array.length weights = 0 then invalid_arg "Scheduler.create: no tasks";
+  if budget <= 0 then invalid_arg "Scheduler.create: budget must be positive";
+  if slice <= 0 then invalid_arg "Scheduler.create: slice must be positive";
+  Array.iter
+    (fun w ->
+      if not (w > 0.0) then invalid_arg "Scheduler.create: weights must be positive")
+    weights;
+  {
+    policy;
+    slice;
+    warmup;
+    remaining = budget;
+    round = 0;
+    rr = 0;
+    slots =
+      Array.map
+        (fun weight ->
+          {
+            weight;
+            rounds = 0;
+            alloc = 0;
+            best = None;
+            prev_best = None;
+            delta = 0.0;
+            done_ = false;
+            last_round = -1;
+          })
+        weights;
+  }
+
+let view_of t i =
+  let s = t.slots.(i) in
+  {
+    v_id = i;
+    v_weight = s.weight;
+    v_rounds = s.rounds;
+    v_alloc = s.alloc;
+    v_best = s.best;
+    v_prev_best = s.prev_best;
+    v_done = s.done_;
+  }
+
+let views t = Array.init (Array.length t.slots) (view_of t)
+let remaining t = t.remaining
+
+(* A task that keeps returning no result (fully invalid space) must not
+   absorb the whole budget on optimism: after [warmup + 3] empty rounds
+   its estimate drops to zero and it only gets leftover slices. *)
+let gradient_gain t i =
+  let s = t.slots.(i) in
+  if s.done_ then neg_infinity
+  else
+    match s.best with
+    | None -> if s.rounds < t.warmup + 3 then infinity else 0.0
+    | Some _ -> s.weight *. s.delta
+
+let gain t i =
+  let s = t.slots.(i) in
+  if s.done_ then neg_infinity
+  else
+    match t.policy with
+    | Gradient -> gradient_gain t i
+    | Round_robin -> 0.0
+    | Custom f -> f (view_of t i)
+
+let active t = Array.exists (fun s -> not s.done_) t.slots
+
+let pick_by_gain t estimate =
+  let n = Array.length t.slots in
+  (* Warmup floor: while an active task sits below [warmup] rounds, only
+     such tasks are candidates. *)
+  let starved i = (not t.slots.(i).done_) && t.slots.(i).rounds < t.warmup in
+  let any_starved = ref false in
+  for i = 0 to n - 1 do
+    if starved i then any_starved := true
+  done;
+  let best = ref (-1) in
+  for i = 0 to n - 1 do
+    if (not t.slots.(i).done_) && ((not !any_starved) || starved i) then
+      if !best < 0 then best := i
+      else
+        let gi = estimate i and gb = estimate !best in
+        if
+          gi > gb
+          || gi = gb
+             && (t.slots.(i).last_round < t.slots.(!best).last_round
+                || t.slots.(i).last_round = t.slots.(!best).last_round && i < !best)
+        then best := i
+  done;
+  if !best < 0 then None else Some !best
+
+let pick_round_robin t =
+  let n = Array.length t.slots in
+  let rec scan k =
+    if k = n then None
+    else
+      let i = (t.rr + k) mod n in
+      if t.slots.(i).done_ then scan (k + 1) else Some i
+  in
+  scan 0
+
+let next t =
+  if t.remaining <= 0 || not (active t) then None
+  else
+    let picked =
+      match t.policy with
+      | Round_robin -> pick_round_robin t
+      | Gradient -> pick_by_gain t (gradient_gain t)
+      | Custom f ->
+          pick_by_gain t (fun i ->
+              if t.slots.(i).done_ then neg_infinity else f (view_of t i))
+    in
+    Option.map (fun i -> (i, min t.slice t.remaining)) picked
+
+let report t ~task ~alloc ~best ~done_ =
+  let n = Array.length t.slots in
+  if task < 0 || task >= n then invalid_arg "Scheduler.report: task out of range";
+  let s = t.slots.(task) in
+  (match (s.best, best) with
+  | None, Some b -> s.delta <- b *. 0.5
+  | Some p, Some b when b < p -> s.delta <- b *. (p -. b) /. p
+  | _ -> s.delta <- s.delta *. 0.5);
+  s.prev_best <- s.best;
+  (match best with Some _ -> s.best <- best | None -> ());
+  s.rounds <- s.rounds + 1;
+  s.alloc <- s.alloc + alloc;
+  s.done_ <- s.done_ || done_;
+  s.last_round <- t.round;
+  t.round <- t.round + 1;
+  t.rr <- (task + 1) mod n;
+  t.remaining <- t.remaining - alloc
+
+(* ---------- checkpoint serialization ---------- *)
+
+let json_of_opt = function None -> Json.Null | Some x -> Json.Float x
+
+let export t =
+  let policy_tag =
+    match t.policy with
+    | Gradient -> "gradient"
+    | Round_robin -> "round_robin"
+    | Custom _ -> "custom"
+  in
+  Json.Obj
+    [
+      ("heron_scheduler", Json.Int version);
+      ("policy", Json.String policy_tag);
+      ("slice", Json.Int t.slice);
+      ("warmup", Json.Int t.warmup);
+      ("remaining", Json.Int t.remaining);
+      ("round", Json.Int t.round);
+      ("rr", Json.Int t.rr);
+      ( "tasks",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun s ->
+                  Json.Obj
+                    [
+                      ("weight", Json.Float s.weight);
+                      ("rounds", Json.Int s.rounds);
+                      ("alloc", Json.Int s.alloc);
+                      ("best", json_of_opt s.best);
+                      ("prev_best", json_of_opt s.prev_best);
+                      ("delta", Json.Float s.delta);
+                      ("done", Json.Bool s.done_);
+                      ("last_round", Json.Int s.last_round);
+                    ])
+                t.slots)) );
+    ]
+
+let ( let* ) = Result.bind
+
+let fail ctx msg = Error (Printf.sprintf "scheduler: %s: %s" ctx msg)
+
+let field ctx name obj =
+  match Json.member name obj with
+  | Some v -> Ok v
+  | None -> fail ctx (Printf.sprintf "missing field %S" name)
+
+let as_int ctx = function
+  | Json.Int n -> Ok n
+  | _ -> fail ctx "expected an integer"
+
+let as_float ctx = function
+  | Json.Float f -> Ok f
+  | Json.Int n -> Ok (float_of_int n)
+  | _ -> fail ctx "expected a number"
+
+let as_bool ctx = function
+  | Json.Bool b -> Ok b
+  | _ -> fail ctx "expected a boolean"
+
+let as_opt_float ctx = function
+  | Json.Null -> Ok None
+  | v -> Result.map Option.some (as_float ctx v)
+
+let import v =
+  let* ver =
+    match Json.member "heron_scheduler" v with
+    | Some (Json.Int n) -> Ok n
+    | Some _ -> fail "heron_scheduler" "expected an integer"
+    | None -> Error "scheduler: not a scheduler snapshot (missing \"heron_scheduler\")"
+  in
+  let* () =
+    if ver = version then Ok ()
+    else
+      Error
+        (Printf.sprintf "scheduler: unsupported version %d (this build reads %d)" ver version)
+  in
+  let as_string ctx = function
+    | Json.String s -> Ok s
+    | _ -> fail ctx "expected a string"
+  in
+  let* policy =
+    let* tag = Result.bind (field "" "policy" v) (as_string "policy") in
+    match tag with
+    | "gradient" -> Ok Gradient
+    | "round_robin" -> Ok Round_robin
+    | "custom" -> Error "scheduler: a custom-policy snapshot cannot be restored"
+    | other -> fail "policy" (Printf.sprintf "unknown policy %S" other)
+  in
+  let* slice = Result.bind (field "" "slice" v) (as_int "slice") in
+  let* warmup = Result.bind (field "" "warmup" v) (as_int "warmup") in
+  let* remaining = Result.bind (field "" "remaining" v) (as_int "remaining") in
+  let* round = Result.bind (field "" "round" v) (as_int "round") in
+  let* rr = Result.bind (field "" "rr" v) (as_int "rr") in
+  let* tasks =
+    match Json.member "tasks" v with
+    | Some (Json.List l) -> Ok l
+    | Some _ -> fail "tasks" "expected an array"
+    | None -> fail "" "missing field \"tasks\""
+  in
+  let* slots =
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | tv :: rest ->
+          let ctx name = Printf.sprintf "tasks[%d].%s" i name in
+          let* weight = Result.bind (field (ctx "weight") "weight" tv) (as_float (ctx "weight")) in
+          let* rounds = Result.bind (field (ctx "rounds") "rounds" tv) (as_int (ctx "rounds")) in
+          let* alloc = Result.bind (field (ctx "alloc") "alloc" tv) (as_int (ctx "alloc")) in
+          let* best = Result.bind (field (ctx "best") "best" tv) (as_opt_float (ctx "best")) in
+          let* prev_best =
+            Result.bind (field (ctx "prev_best") "prev_best" tv) (as_opt_float (ctx "prev_best"))
+          in
+          let* delta = Result.bind (field (ctx "delta") "delta" tv) (as_float (ctx "delta")) in
+          let* done_ = Result.bind (field (ctx "done") "done" tv) (as_bool (ctx "done")) in
+          let* last_round =
+            Result.bind (field (ctx "last_round") "last_round" tv) (as_int (ctx "last_round"))
+          in
+          go (i + 1)
+            ({ weight; rounds; alloc; best; prev_best; delta; done_; last_round } :: acc)
+            rest
+    in
+    go 0 [] tasks
+  in
+  let* () = if slots = [] then fail "tasks" "no tasks" else Ok () in
+  Ok { policy; slice; warmup; remaining; round; rr; slots = Array.of_list slots }

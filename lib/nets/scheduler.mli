@@ -1,0 +1,69 @@
+(** Gradient-based measurement-budget allocation across tuning tasks
+    (Ansor-style task scheduling).
+
+    The scheduler slices a total budget into rounds of [slice] trials.
+    Each round goes to the task whose continued tuning is estimated to
+    shave the most off the weighted end-to-end latency
+    [sum_i w_i * best_i]. The gain estimate is optimistic for tasks that
+    have not produced a result yet (so every task warms up), then tracks
+    observed improvement with geometric decay: a round that improves
+    [prev -> best] projects a next-round delta of [best * (prev - best) /
+    prev]; a round without improvement halves the projection.
+
+    The scheduler is pure state-machine code: no RNG, no clock, no I/O.
+    Ties on the gain estimate break deterministically — least recently
+    scheduled first, then lowest task id — which makes the allocation
+    trace byte-stable across [--jobs] and, under a constant gain
+    estimate, identical to round-robin order. *)
+
+type policy =
+  | Gradient  (** weighted marginal-gain allocation (the default) *)
+  | Round_robin  (** cyclic equal slices — the ablation baseline *)
+  | Custom of (view -> float)
+      (** user-supplied gain estimator over the task's public view; rounds
+          go to the argmax with the same deterministic tie-break *)
+
+and view = {
+  v_id : int;
+  v_weight : float;
+  v_rounds : int;  (** rounds this task has received *)
+  v_alloc : int;  (** trials allocated to this task so far *)
+  v_best : float option;  (** best latency reported, us *)
+  v_prev_best : float option;  (** best before the last reported round *)
+  v_done : bool;
+}
+
+type t
+
+val create : ?policy:policy -> ?slice:int -> ?warmup:int -> budget:int -> float array -> t
+(** A scheduler over [Array.length weights] tasks ([t_id]-indexed).
+    [slice] (default 16) is the trials-per-round granularity; [warmup]
+    (default 1) is the floor: no task is left below [warmup] rounds while
+    it is still active and budget remains.
+    @raise Invalid_argument on empty weights, non-positive budget/slice. *)
+
+val next : t -> (int * int) option
+(** [next s] picks the task for the upcoming round: [Some (task, trials)]
+    with [trials = min slice remaining], or [None] when the budget is
+    exhausted or every task is done. Pure: does not advance the state —
+    call {!report} with the outcome to commit the round. Successive
+    allocations sum exactly to the budget (conservation). *)
+
+val report : t -> task:int -> alloc:int -> best:float option -> done_:bool -> unit
+(** Commit a round: [task] consumed [alloc] trials and its best latency
+    now stands at [best]. [done_] marks the task finished (search space
+    enumerated) — it will never be scheduled again. *)
+
+val views : t -> view array
+val remaining : t -> int
+val gain : t -> int -> float
+(** The current gain estimate for a task — [neg_infinity] once done.
+    Exposed for the conservation/equivalence properties in [lib/check]. *)
+
+val export : t -> Heron_obs.Json.t
+(** Versioned JSON of the full scheduler state, for embedding in the
+    network-tuner checkpoint. *)
+
+val import : Heron_obs.Json.t -> (t, string) result
+(** Inverse of {!export}; diagnostics name the offending field. The
+    restored scheduler continues byte-identically. *)

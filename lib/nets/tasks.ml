@@ -1,0 +1,30 @@
+module Op = Heron_tensor.Op
+module Library = Heron.Library
+
+type task = { t_id : int; t_key : string; t_op : Op.t; t_weight : int }
+
+let extract (net : Models.network) =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (count, op) ->
+      if count > 0 then
+        let key = Library.op_key op in
+        match Hashtbl.find_opt tbl key with
+        | Some (op0, w) -> Hashtbl.replace tbl key (op0, w + count)
+        | None ->
+            Hashtbl.add tbl key (op, count);
+            order := key :: !order)
+    net.Models.layers;
+  List.rev !order
+  |> List.mapi (fun i key ->
+         let op, w = Hashtbl.find tbl key in
+         { t_id = i; t_key = key; t_op = op; t_weight = w })
+
+let weights tasks =
+  let n = List.length tasks in
+  let w = Array.make n 1.0 in
+  List.iter (fun t -> w.(t.t_id) <- float_of_int t.t_weight) tasks;
+  w
+
+let to_string t = Printf.sprintf "%dx %s" t.t_weight t.t_key

@@ -1,0 +1,30 @@
+(** Tuning-task extraction: the distinct (operator, shape) pairs of a
+    network, with how often each occurs.
+
+    Layers sharing an operator key (see {!Heron.Library.op_key}) are one
+    task — they reuse one tuned schedule — so their multiplicities sum
+    into the task's weight. End-to-end network latency is then
+    [sum_i weight_i * best_latency_i], which is what the scheduler's
+    gradient allocation optimizes. *)
+
+module Op = Heron_tensor.Op
+
+type task = {
+  t_id : int;  (** dense index, first-appearance order *)
+  t_key : string;  (** canonical operator key, {!Heron.Library.op_key} *)
+  t_op : Op.t;
+  t_weight : int;  (** summed layer multiplicity, >= 1 *)
+}
+
+val extract : Models.network -> task list
+(** Deduplicate [net.layers] by operator key. Deterministic: tasks appear
+    in first-appearance order of their key, [t_id] is the position in the
+    returned list, and duplicate layers contribute their multiplicities to
+    the first occurrence's weight. Layers with non-positive multiplicity
+    are ignored. *)
+
+val weights : task list -> float array
+(** [t_weight] per task, as floats, indexed by [t_id]. *)
+
+val to_string : task -> string
+(** ["<weight>x <key>"] — for logs and reports. *)

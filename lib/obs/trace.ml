@@ -68,6 +68,20 @@ let required_fields = function
           ("offspring_attempted", is_int);
           ("offspring_accepted", is_int);
         ]
+  | "net_round" ->
+      (* One scheduler round of the whole-network tuner. [best]/[gain] are
+         null until the task produces a result (resp. while the gain
+         estimate is still the optimistic infinity). *)
+      Some
+        [
+          ("round", is_int);
+          ("task", is_int);
+          ("key", is_string);
+          ("alloc", is_int);
+          ("steps", is_int);
+          ("best", is_opt_number);
+          ("gain", is_opt_number);
+        ]
   | "trace_end" -> Some [ ("events", is_int) ]
   | _ -> None
 

@@ -138,11 +138,6 @@ let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_
     { params with batch = min params.batch (max 4 (budget / 8)) }
   in
   let pool = Pool.resolve pool in
-  let rec_ =
-    match resume with
-    | None -> Env.Recorder.create ?measure_batch ?resilience env ~budget
-    | Some s -> Env.Recorder.import ?measure_batch ?resilience env ~budget s.s_recorder
-  in
   let model = Model.create env.Env.problem in
   (* Degraded candidates fall back to the model's predicted latency; the
      closure reads the live ensemble, so it tracks every refit. *)
@@ -169,6 +164,53 @@ let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_
      effectively enumerated. *)
   let continue = ref true in
   let dry_iterations = ref 0 in
+  (* A snapshot from a different task must be rejected, not silently
+     restored: its model window would corrupt the ring (wrong row width /
+     bin ranges) and its assignments would not satisfy this problem. The
+     feature layout and the carried assignments are checked against the
+     live problem before anything is restored. *)
+  (match resume with
+  | None -> ()
+  | Some s ->
+      List.iteri
+        (fun i (bins, _) ->
+          if not (Model.layout_ok model bins) then
+            invalid_arg
+              (Printf.sprintf
+                 "Cga.run: resume: model sample %d: feature layout mismatch (%d cells, this \
+                  task bins %d features)"
+                 i (Array.length bins) (Model.n_features model)))
+        s.s_model;
+      let vars = Problem.vars env.Env.problem in
+      let check_assignment ctx a =
+        let bound = Assignment.bindings a in
+        if List.length bound <> Array.length vars then
+          invalid_arg
+            (Printf.sprintf
+               "Cga.run: resume: %s: binds %d variables, this task has %d" ctx
+               (List.length bound) (Array.length vars));
+        List.iter
+          (fun (v, x) ->
+            if not (Array.exists (String.equal v) vars) then
+              invalid_arg
+                (Printf.sprintf "Cga.run: resume: %s: unknown variable %S" ctx v)
+            else if not (Heron_csp.Domain.mem x (Problem.domain env.Env.problem v)) then
+              invalid_arg
+                (Printf.sprintf
+                   "Cga.run: resume: %s: %s = %d is outside this task's domain" ctx v x))
+          bound
+      in
+      List.iteri
+        (fun i (a, _) -> check_assignment (Printf.sprintf "survivor %d" i) a)
+        s.s_survivors;
+      (match s.s_recorder.Env.Recorder.x_best_a with
+      | None -> ()
+      | Some a -> check_assignment "recorder best assignment" a));
+  let rec_ =
+    match resume with
+    | None -> Env.Recorder.create ?measure_batch ?resilience env ~budget
+    | Some s -> Env.Recorder.import ?measure_batch ?resilience env ~budget s.s_recorder
+  in
   (match resume with
   | None -> ()
   | Some s ->

@@ -81,7 +81,12 @@ val run :
     with the full loop state; [?resume] restarts from such a snapshot and
     continues byte-identically to an uninterrupted run (the model
     ensemble is rebuilt by one deterministic refit of the checkpointed
-    samples).
+    samples). A snapshot that does not fit the current task —
+    wrong-width or out-of-range model rows, or carried assignments that
+    bind other variables or out-of-domain values — raises
+    [Invalid_argument] before anything is restored, so a checkpoint (or
+    a transferred warm-start window) from a different operator, shape or
+    descriptor can never silently corrupt a run.
 
     Determinism: per-task generators are split from [env.rng] in index
     order and results always merge by task index, so a fixed seed yields a

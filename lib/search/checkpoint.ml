@@ -229,6 +229,9 @@ let load ~path =
       | Error e -> Error (Printf.sprintf "checkpoint: %s: invalid JSON: %s" path e)
       | Ok v -> of_json v)
 
+let snapshot_to_json = to_json
+let snapshot_of_json = of_json
+
 let describe (label, s) =
   let r = s.Cga.s_recorder in
   Printf.sprintf

@@ -20,3 +20,12 @@ val load : path:string -> (string * Cga.snapshot, string) result
 val describe : string * Cga.snapshot -> string
 (** One-line human summary (label, iterations, steps, quarantined count)
     for [trace_lint --checkpoint]. *)
+
+val snapshot_to_json : label:string -> Cga.snapshot -> Heron_obs.Json.t
+(** The JSON value {!save} writes — exposed so composite checkpoints
+    (the multi-task network tuner) can embed per-task snapshots in one
+    atomically written file. *)
+
+val snapshot_of_json : Heron_obs.Json.t -> (string * Cga.snapshot, string) result
+(** Inverse of {!snapshot_to_json}; diagnostics name the offending
+    field exactly as {!load}'s do. *)

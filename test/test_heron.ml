@@ -29,6 +29,7 @@ let suites =
     ("experiments", Test_experiments.suite);
     ("check", Test_check.suite);
     ("serve", Test_serve.suite);
+    ("nets", Test_nets.suite);
   ]
 
 let names_of env =

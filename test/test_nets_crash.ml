@@ -1,0 +1,70 @@
+(* Crash/resume cycle for the whole-network tuner, in its own binary:
+   the crash run dies from inside [Tuner.tune] via [~kill_after] in a
+   forked child, and OCaml forbids [Unix.fork] once any domain has been
+   spawned — so this cannot share a process with the pool-backed suites
+   in [test_heron]. Nothing here ever creates a domain. *)
+
+module Assignment = Heron_csp.Assignment
+module Library = Heron.Library
+module Models = Heron_nets.Models
+module Tuner = Heron_nets.Tuner
+module D = Heron_dla.Descriptor
+
+let budget = 32
+let seed = 11
+let slice = 8
+
+(* Durable run identity; the measurer-invocation count is process-local
+   (the pre-crash process took some invocations with it) and is
+   deliberately excluded. *)
+let fingerprint r =
+  ( r.Tuner.r_allocations,
+    r.Tuner.r_latency_us,
+    List.map
+      (fun tr ->
+        ( tr.Tuner.tr_best,
+          tr.Tuner.tr_trace,
+          Option.map Assignment.key tr.Tuner.tr_best_assignment,
+          tr.Tuner.tr_transferred ))
+      r.Tuner.r_reports,
+    Library.to_string r.Tuner.r_library )
+
+let test_kill_resume () =
+  let full = Tuner.tune ~budget ~seed ~slice D.v100 Models.tiny in
+  let path = Filename.temp_file "heron_nets_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* Die with status 3 after the first checkpoint write, exactly as
+         the CLI's --kill-after flag does. *)
+      flush stdout;
+      flush stderr;
+      (match Unix.fork () with
+      | 0 -> (
+          try
+            ignore
+              (Tuner.tune ~budget ~seed ~slice ~checkpoint:path ~kill_after:1 D.v100
+                 Models.tiny);
+            Unix._exit 9 (* kill_after must not let the run finish *)
+          with _ -> Unix._exit 8)
+      | pid -> (
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 3 -> ()
+          | _, Unix.WEXITED n -> Alcotest.failf "crash run exited %d, wanted 3" n
+          | _ -> Alcotest.fail "crash run was stopped by a signal"));
+      Alcotest.(check bool) "checkpoint written before the crash" true
+        (Sys.file_exists path);
+      let resumed = Tuner.tune ~budget ~seed ~slice ~resume:path D.v100 Models.tiny in
+      Alcotest.(check string) "final library byte-identical"
+        (Library.to_string full.Tuner.r_library)
+        (Library.to_string resumed.Tuner.r_library);
+      Alcotest.(check bool) "whole run identical after mid-run crash" true
+        (fingerprint full = fingerprint resumed))
+
+let () =
+  Alcotest.run "heron_nets_crash"
+    [
+      ( "nets-crash",
+        [ Alcotest.test_case "kill after round, resume byte-identical" `Quick
+            test_kill_resume ] );
+    ]

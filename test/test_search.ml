@@ -330,6 +330,61 @@ let test_checkpoint_roundtrip () =
           Alcotest.(check bool) "model samples identical" true
             (snap.Cga.s_model = back.Cga.s_model))
 
+(* A snapshot from a different task must be rejected before anything is
+   restored: its model rows would corrupt the feature ring and its carried
+   assignments would not satisfy this problem. Tamper with a genuine
+   snapshot in each of the ways a foreign one would differ. *)
+let test_resume_rejects_foreign_snapshot () =
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  let snapshots = ref [] in
+  let _ =
+    Cga.run
+      ~params:Cga.{ default_params with pop_size = 8; generations = 2; batch = 4 }
+      ~on_snapshot:(fun s -> snapshots := s :: !snapshots)
+      (fig5_env 7) ~budget:16
+  in
+  Alcotest.(check bool) "snapshots written" true (!snapshots <> []);
+  let snap = List.hd !snapshots in
+  let expect_reject ~needle snap' =
+    match Cga.run ~resume:snap' (fig5_env 7) ~budget:8 with
+    | _ -> Alcotest.failf "tampered snapshot accepted (wanted %S)" needle
+    | exception Invalid_argument e ->
+        if not (contains e needle) then
+          Alcotest.failf "diagnostic %S does not mention %S" e needle
+  in
+  (* Model row wider than this task's feature layout. *)
+  expect_reject ~needle:"feature layout mismatch"
+    { snap with Cga.s_model = [ (Array.make 64 0, 1.0) ] };
+  (* Survivor binding the wrong number of variables. *)
+  expect_reject ~needle:"binds"
+    { snap with Cga.s_survivors = [ (Assignment.of_list [ ("x", 1) ], 10.0) ] };
+  (* Survivor binding a variable this problem does not have. *)
+  expect_reject ~needle:"unknown variable"
+    {
+      snap with
+      Cga.s_survivors =
+        [ (Assignment.of_list [ ("x", 1); ("y", 1); ("q", 1); ("xy", 1) ], 10.0) ];
+    };
+  (* Recorder best assignment with a value outside this task's domain. *)
+  expect_reject ~needle:"outside this task's domain"
+    {
+      snap with
+      Cga.s_survivors = [];
+      s_model = [];
+      s_recorder =
+        {
+          snap.Cga.s_recorder with
+          Env.Recorder.x_best_a =
+            Some (Assignment.of_list [ ("x", 99); ("y", 1); ("z", 0); ("xy", 1) ]);
+        };
+    };
+  (* The untampered snapshot itself still resumes fine. *)
+  ignore (Cga.run ~resume:snap (fig5_env 7) ~budget:16)
+
 let test_checkpoint_diagnostics () =
   let expect_error ~needle content =
     let path = Filename.temp_file "heron_ck_bad" ".json" in
@@ -377,5 +432,7 @@ let suite =
       test_eval_batch_matches_sequential_eval;
     Alcotest.test_case "resilience verdicts" `Quick test_resilience_verdicts;
     Alcotest.test_case "checkpoint JSON roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "resume rejects foreign snapshots" `Quick
+      test_resume_rejects_foreign_snapshot;
     Alcotest.test_case "checkpoint diagnostics" `Quick test_checkpoint_diagnostics;
   ]
