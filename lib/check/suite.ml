@@ -6,6 +6,7 @@ let all ~budget =
     ("dla", Dla_props.tests ~count:(at (budget / 8)) ());
     ("model", Model_props.tests ~count:(at (budget / 8)) ());
     ("search", Search_props.tests ~count:(at (budget / 15)) ());
+    ("search_engine", Search_engine_diff.tests ~count:(at (budget / 15)) ());
     ("fault", Fault_props.tests ~count:(at (budget / 15)) ());
     ("serve", Serve_props.tests ~count:(at (budget / 15)) ());
     ("nets", Nets_props.tests ~count:(at (budget / 15)) ());

@@ -14,7 +14,18 @@ val set : t -> string -> int -> t
 val mem : t -> string -> bool
 val cardinal : t -> int
 val equal : t -> t -> bool
+
+val fold : (string -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over bindings in increasing variable order (allocation-free, for
+    structural hashing). *)
+
 val key : t -> string
 (** Canonical string rendering, usable as a hash/cache key. *)
 
 val to_string : t -> string
+
+val of_key : string -> (t, string) result
+(** Parse a {!key} rendering back into an assignment. Only canonical
+    renderings are accepted ([key (of_key s) = s]): bindings sorted by
+    variable, no duplicates, integer values. Checkpoint import uses this
+    to rebuild assignments without storing them twice. *)

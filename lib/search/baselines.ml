@@ -164,7 +164,7 @@ let ga_loop ?(repair = fun _env a -> a) ~select ?(params = default_ga_params) en
 
 (* Plain GA: keep the best by fitness (invalid = 0). *)
 let select_by_fitness _env merged n =
-  List.sort (fun (_, x) (_, y) -> compare (Env.score y) (Env.score x)) merged
+  List.sort (fun (_, x) (_, y) -> Float.compare (Env.score y) (Env.score x)) merged
   |> List.filteri (fun i _ -> i < n)
 
 let genetic ?params env ~budget = ga_loop ~select:select_by_fitness ?params env ~budget

@@ -3,6 +3,7 @@ module Assignment = Heron_csp.Assignment
 module Cons = Heron_csp.Cons
 module Solver = Heron_csp.Solver
 module Model = Heron_cost.Model
+module Fmat = Heron_cost.Fmat
 module Rng = Heron_util.Rng
 module Pool = Heron_util.Pool
 module Obs = Heron_obs.Obs
@@ -12,6 +13,12 @@ let c_iterations = Obs.Counter.make "cga.iterations"
 let c_generations = Obs.Counter.make "cga.generations"
 let c_offspring_attempted = Obs.Counter.make "cga.offspring_attempted"
 let c_offspring_accepted = Obs.Counter.make "cga.offspring_accepted"
+
+(* Flat-engine counters ([search.interned] / [search.intern_hits] live in
+   {!Intern}). Dedupe and ranking run on the sequential control path, so
+   both are independent of pool size. *)
+let c_dedupe_hits = Obs.Counter.make "search.dedupe_hits"
+let c_rank_rows = Obs.Counter.make "search.rank_rows"
 
 type key_selection = By_model | Random_keys
 
@@ -51,7 +58,10 @@ type outcome = {
    Restoring a snapshot and continuing is byte-identical to never having
    stopped: the RNG state covers every stochastic choice, the recorder
    export covers measurements/trace/quarantine, and the model ensemble is
-   reproduced from its samples because GBT fitting is deterministic. *)
+   reproduced from its samples because GBT fitting is deterministic.
+   Snapshots speak assignments and key strings, never intern ids — ids
+   are a per-run representation, so the on-disk format is engine-
+   independent (see {!Checkpoint}). *)
 type snapshot = {
   s_iter : int;
   s_dry : int;
@@ -71,7 +81,7 @@ let crossover_csps ?(mutation = true) rng problem ~keys ~parents ~n =
           List.filter_map
             (fun v ->
               match (Assignment.find_opt c1 v, Assignment.find_opt c2 v) with
-              | Some a, Some b -> Some (Cons.In (v, List.sort_uniq compare [ a; b ]))
+              | Some a, Some b -> Some (Cons.In (v, List.sort_uniq Int.compare [ a; b ]))
               | _ -> None)
             keys
         in
@@ -84,63 +94,150 @@ let crossover_csps ?(mutation = true) rng problem ~keys ~parents ~n =
         in
         Problem.with_extra problem constraints)
 
-(* Roulette-wheel selection on predicted fitness scores. Weights are
-   strictly positive (the caller clamps predictions), so the cumulative
-   array is monotone and each draw is one [Rng.float] plus a binary
-   search for the first slot whose cumulative weight reaches the target —
-   the same slot the linear scan stopped at, in O(log n) per draw with
-   identical draw-for-draw RNG consumption. *)
-let roulette rng scored n =
-  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
-  if total <= 0.0 then Array.init n (fun _ -> fst (Rng.choice rng scored))
+(* ---------- flat population scratch ---------- *)
+
+(* The population lives in reusable int-id arrays persisted across
+   iterations: [pop.(0 .. pop_n-1)] are the live candidate ids, [buf] is
+   the merge scratch populations are rebuilt through, [stamp]/[round]
+   implement O(1) first-occurrence dedupe (a stamped id was already kept
+   this round), and [feats] caches each id's binned feature row so
+   ranking and model updates never re-bin an assignment. Everything grows
+   geometrically and is only ever reused, so a steady-state iteration
+   allocates nothing on this path. *)
+type scratch = {
+  mutable pop : int array;
+  mutable pop_n : int;
+  mutable buf : int array;
+  mutable buf_n : int;
+  mutable stamp : int array;
+  mutable round : int;
+  mutable scores : float array;  (* clamped predicted fitness, by pop index *)
+  mutable cum : float array;  (* roulette cumulative weights *)
+  mutable sel : int array;  (* roulette winners *)
+  mutable fresh : int array;  (* step-3 unseen ids *)
+  mutable order : int array;  (* ranking permutation over [fresh] *)
+  mutable shuf : int array;  (* epsilon-greedy shuffle scratch *)
+  feats : Fmat.t;  (* binned feature row per id *)
+  mutable feats_n : int;  (* ids with a cached row: [0, feats_n) *)
+}
+
+let grown_int a n =
+  let cap = Array.length a in
+  if n <= cap then a
   else begin
-    let m = Array.length scored in
-    let cum = Array.make m 0.0 in
-    let acc = ref 0.0 in
-    Array.iteri
-      (fun i (_, w) ->
-        acc := !acc +. w;
-        cum.(i) <- !acc)
-      scored;
-    Array.init n (fun _ ->
-        let target = Rng.float rng *. total in
-        (* Fall back to the LAST element: when floating-point rounding
-           leaves the cumulative weight just below [target], the draw
-           belongs to the final slot, not to [scored.(0)]. *)
-        if cum.(m - 1) < target then fst scored.(m - 1)
-        else begin
-          let lo = ref 0 and hi = ref (m - 1) in
-          while !lo < !hi do
-            let mid = (!lo + !hi) / 2 in
-            if cum.(mid) >= target then hi := mid else lo := mid + 1
-          done;
-          fst scored.(!lo)
-        end)
+    let cap' = ref (max 64 cap) in
+    while n > !cap' do
+      cap' := 2 * !cap'
+    done;
+    let a' = Array.make !cap' 0 in
+    Array.blit a 0 a' 0 cap;
+    a'
   end
 
-let dedupe assignments =
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun a ->
-      let k = Assignment.key a in
-      if Hashtbl.mem seen k then false
-      else begin
-        Hashtbl.replace seen k ();
-        true
-      end)
-    assignments
+let grown_float a n =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let cap' = ref (max 64 cap) in
+    while n > !cap' do
+      cap' := 2 * !cap'
+    done;
+    let a' = Array.make !cap' 0.0 in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
 
-let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_snapshot env
-    ~budget =
-  (* At small budgets, shrink the measurement batch so the cost model still
-     sees several train/predict rounds. *)
-  let params =
-    { params with batch = min params.batch (max 4 (budget / 8)) }
+let make_scratch nf =
+  {
+    pop = Array.make 64 0;
+    pop_n = 0;
+    buf = Array.make 64 0;
+    buf_n = 0;
+    stamp = [||];
+    round = 0;
+    scores = [||];
+    cum = [||];
+    sel = [||];
+    fresh = [||];
+    order = [||];
+    shuf = [||];
+    feats = Fmat.create ~n_features:nf ();
+    feats_n = 0;
+  }
+
+let push_buf sc id =
+  sc.buf <- grown_int sc.buf (sc.buf_n + 1);
+  sc.buf.(sc.buf_n) <- id;
+  sc.buf_n <- sc.buf_n + 1
+
+(* Rebuild [pop] from [buf], keeping the first occurrence of every id —
+   [Cga_ref]'s string-keyed [dedupe] as one stamped array pass. *)
+let dedupe_buf_into_pop intern sc =
+  sc.stamp <- grown_int sc.stamp (Intern.size intern);
+  sc.round <- sc.round + 1;
+  sc.pop <- grown_int sc.pop sc.buf_n;
+  sc.pop_n <- 0;
+  for i = 0 to sc.buf_n - 1 do
+    let id = sc.buf.(i) in
+    if sc.stamp.(id) = sc.round then Obs.Counter.incr c_dedupe_hits
+    else begin
+      sc.stamp.(id) <- sc.round;
+      sc.pop.(sc.pop_n) <- id;
+      sc.pop_n <- sc.pop_n + 1
+    end
+  done
+
+(* Bin the feature rows of ids allocated since the last sync. Ids are
+   dense and allocated in order, so the row cache is a high-watermark. *)
+let sync_feats model intern sc =
+  let n = Intern.size intern in
+  if n > sc.feats_n then begin
+    Fmat.set_rows sc.feats n;
+    for id = sc.feats_n to n - 1 do
+      Model.featurize_row model (Intern.assignment intern id) sc.feats id
+    done;
+    sc.feats_n <- n
+  end
+
+(* In-place rank of [order.(0 .. nf-1)] (indices into [fresh]) by
+   predicted score descending, index ascending. The index tiebreak makes
+   the comparison a total order, so this unstable heapsort produces
+   exactly the sequence the frozen engine's stable descending list sort
+   does — without allocating. *)
+let sort_order sc nf =
+  let ord = sc.order and s = sc.scores in
+  let cmp i j =
+    let c = Float.compare s.(j) s.(i) in
+    if c <> 0 then c else Int.compare i j
   in
+  let swap i j =
+    let t = ord.(i) in
+    ord.(i) <- ord.(j);
+    ord.(j) <- t
+  in
+  let rec sift i n =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < n && cmp ord.(l) ord.(!m) > 0 then m := l;
+    if r < n && cmp ord.(r) ord.(!m) > 0 then m := r;
+    if !m <> i then begin
+      swap i !m;
+      sift !m n
+    end
+  in
+  for i = (nf / 2) - 1 downto 0 do
+    sift i nf
+  done;
+  for k = nf - 1 downto 1 do
+    swap 0 k;
+    sift 0 k
+  done
+
+let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_snapshot
+    (env : Env.t) ~budget =
+  let params = { params with batch = min params.batch (max 4 (budget / 8)) } in
   let pool = Pool.resolve pool in
   let model = Model.create env.Env.problem in
-  (* Degraded candidates fall back to the model's predicted latency; the
-     closure reads the live ensemble, so it tracks every refit. *)
   (match resilience with
   | None -> ()
   | Some rz ->
@@ -158,17 +255,8 @@ let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_
         x)
   in
   let iter_no = ref 0 in
-  let survivors = ref [] in
-  (* Iterate until the measurement budget is exhausted (Algorithm 2). A few
-     consecutive iterations without any fresh candidate mean the space is
-     effectively enumerated. *)
   let continue = ref true in
   let dry_iterations = ref 0 in
-  (* A snapshot from a different task must be rejected, not silently
-     restored: its model window would corrupt the ring (wrong row width /
-     bin ranges) and its assignments would not satisfy this problem. The
-     feature layout and the carried assignments are checked against the
-     live problem before anything is restored. *)
   (match resume with
   | None -> ()
   | Some s ->
@@ -211,20 +299,22 @@ let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_
     | None -> Env.Recorder.create ?measure_batch ?resilience env ~budget
     | Some s -> Env.Recorder.import ?measure_batch ?resilience env ~budget s.s_recorder
   in
+  let intern = Env.Recorder.interner rec_ in
+  let sc = make_scratch (Model.n_features model) in
+  (* Survivors carry (id, measured latency); ids only ever leave the run
+     through [emit_snapshot], as assignments. *)
+  let survivors = ref [] in
   (match resume with
   | None -> ()
   | Some s ->
       iter_no := s.s_iter;
       dry_iterations := s.s_dry;
       continue := not s.s_stopped;
-      survivors := s.s_survivors;
+      survivors := List.map (fun (a, l) -> (Env.Recorder.intern rec_ a, l)) s.s_survivors;
       (match Rng.set_state_hex env.Env.rng s.s_rng_hex with
       | Ok () -> ()
       | Error e -> invalid_arg ("Cga.run: resume: " ^ e));
       Model.restore model s.s_model;
-      (* Refit reproduces the checkpointed ensemble exactly: fitting is
-         deterministic in the samples, and the original run refit at the
-         end of every iteration that recorded new samples. *)
       Model.refit ?pool model);
   let emit_snapshot () =
     match on_snapshot with
@@ -237,39 +327,90 @@ let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_
             s_stopped = not !continue;
             s_rng_hex = Rng.state_hex env.Env.rng;
             s_recorder = Env.Recorder.export rec_;
-            s_survivors = !survivors;
+            s_survivors =
+              List.map (fun (id, l) -> (Intern.assignment intern id, l)) !survivors;
             s_model = Model.samples model;
           }
+  in
+  (* Score [ids.(0 .. n-1)] into [scores.(0 .. n-1)] through the cached
+     feature rows, clamped strictly positive for roulette weights (the
+     frozen engine clamps identically before its sorts, so ranking sees
+     the same values). *)
+  let score_ids ids n =
+    sync_feats model intern sc;
+    sc.scores <- grown_float sc.scores n;
+    Model.predict_gather ?pool model sc.feats ids n sc.scores;
+    for i = 0 to n - 1 do
+      if sc.scores.(i) < 1e-6 then sc.scores.(i) <- 1e-6
+    done
+  in
+  (* Roulette-wheel selection into [sel.(0 .. n-1)]: cumulative weights
+     over the live population plus one [Rng.float] and a binary search
+     per draw — draw-for-draw the RNG consumption of the frozen engine. *)
+  let roulette_ids n =
+    sc.sel <- grown_int sc.sel n;
+    let m = sc.pop_n in
+    let total = ref 0.0 in
+    for i = 0 to m - 1 do
+      total := !total +. sc.scores.(i)
+    done;
+    let total = !total in
+    if total <= 0.0 then
+      for k = 0 to n - 1 do
+        sc.sel.(k) <- sc.pop.(Rng.int env.Env.rng m)
+      done
+    else begin
+      sc.cum <- grown_float sc.cum m;
+      let acc = ref 0.0 in
+      for i = 0 to m - 1 do
+        acc := !acc +. sc.scores.(i);
+        sc.cum.(i) <- !acc
+      done;
+      for k = 0 to n - 1 do
+        let target = Rng.float env.Env.rng *. total in
+        (* Fall back to the LAST element: when floating-point rounding
+           leaves the cumulative weight just below [target], the draw
+           belongs to the final slot, not to the first. *)
+        if sc.cum.(m - 1) < target then sc.sel.(k) <- sc.pop.(m - 1)
+        else begin
+          let lo = ref 0 and hi = ref (m - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if sc.cum.(mid) >= target then hi := mid else lo := mid + 1
+          done;
+          sc.sel.(k) <- sc.pop.(!lo)
+        end
+      done
+    end
   in
   while !continue && not (Env.Recorder.exhausted rec_) do
     incr iter_no;
     Obs.Counter.incr c_iterations;
-    (* Step 1: first generation = random valid assignments + survivors. *)
-    let pop0 =
-      timed time_search "cga.seed_population" (fun () ->
-          let need = max 2 (params.pop_size - List.length !survivors) in
-          Solver.rand_sat ?pool env.Env.rng env.Env.problem need
-          @ List.map fst !survivors)
-    in
-    if pop0 = [] then continue := false
+    (* Step 1: first generation = random valid assignments + survivors,
+       interned and deduped in one pass over the flat buffer. *)
+    timed time_search "cga.seed_population" (fun () ->
+        let need = max 2 (params.pop_size - List.length !survivors) in
+        let seeds = Solver.rand_sat ?pool env.Env.rng env.Env.problem need in
+        sc.buf_n <- 0;
+        List.iter (fun a -> push_buf sc (Env.Recorder.intern rec_ a)) seeds;
+        List.iter (fun (id, _) -> push_buf sc id) !survivors);
+    if sc.buf_n = 0 then continue := false
     else begin
-      (* Model scoring of a whole population fans out across the pool;
-         scores come back in population order. *)
-      let predict_all assignments =
-        List.map2
-          (fun a s -> (a, max s 1e-6))
-          assignments
-          (Model.predict_batch ?pool model assignments)
-      in
+      dedupe_buf_into_pop intern sc;
       (* Step 2: evolve on CSPs for several generations. *)
-      let pop = ref (dedupe pop0) in
       timed time_search "cga.evolve" (fun () ->
           for g = 1 to params.generations do
             Obs.Counter.incr c_generations;
-            let scored = Array.of_list (predict_all !pop) in
-            let chosen = roulette env.Env.rng scored params.pop_size in
-            (* Elitism: every current survivor stays in the crossover pool. *)
-            let parents = Array.append chosen (Array.of_list (List.map fst !survivors)) in
+            score_ids sc.pop sc.pop_n;
+            roulette_ids params.pop_size;
+            let ns = List.length !survivors in
+            let parents = Array.make (params.pop_size + ns) Assignment.empty in
+            for i = 0 to params.pop_size - 1 do
+              parents.(i) <- Intern.assignment intern sc.sel.(i)
+            done;
+            List.iteri
+              (fun i (id, _) -> parents.(params.pop_size + i) <- Intern.assignment intern id)
+              !survivors;
             let keys =
               match params.key_selection with
               | By_model -> Model.key_variables model params.top_k
@@ -282,8 +423,6 @@ let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_
               crossover_csps ~mutation:params.mutation env.Env.rng env.Env.problem ~keys
                 ~parents ~n:params.pop_size
             in
-            (* Offspring CSPs are independent: solve the whole generation
-               on the pool, one split generator per CSP. *)
             let children =
               Solver.solve_all ~max_fails:400 ~max_restarts:0 ?pool env.Env.rng csps
               |> List.filter_map Fun.id
@@ -295,59 +434,97 @@ let run ?(params = default_params) ?pool ?measure_batch ?resilience ?resume ?on_
                 [
                   ("iter", Json.Int !iter_no);
                   ("gen", Json.Int g);
-                  ("pop", Json.Int (List.length !pop));
+                  ("pop", Json.Int sc.pop_n);
                   ("offspring_attempted", Json.Int (List.length csps));
                   ("offspring_accepted", Json.Int (List.length children));
                 ];
-            pop := dedupe (children @ !pop)
+            (* pop <- dedupe (children @ pop), children first. *)
+            sc.buf_n <- 0;
+            List.iter (fun a -> push_buf sc (Env.Recorder.intern rec_ a)) children;
+            sc.buf <- grown_int sc.buf (sc.buf_n + sc.pop_n);
+            Array.blit sc.pop 0 sc.buf sc.buf_n sc.pop_n;
+            sc.buf_n <- sc.buf_n + sc.pop_n;
+            dedupe_buf_into_pop intern sc
           done);
-      (* Step 3: epsilon-greedy selection of the measurement batch. *)
-      let fresh =
-        List.filter (fun a -> not (Env.Recorder.seen rec_ a)) !pop
-        |> predict_all
-        |> List.sort (fun (_, x) (_, y) -> compare y x)
+      (* Step 3: epsilon-greedy selection of the measurement batch —
+         filter unseen, score through the cached rows, rank in place. *)
+      let nf =
+        timed time_search "cga.rank" (fun () ->
+            sc.fresh <- grown_int sc.fresh sc.pop_n;
+            let nf = ref 0 in
+            for i = 0 to sc.pop_n - 1 do
+              let id = sc.pop.(i) in
+              if not (Env.Recorder.seen_id rec_ id) then begin
+                sc.fresh.(!nf) <- id;
+                incr nf
+              end
+            done;
+            let nf = !nf in
+            score_ids sc.fresh nf;
+            Obs.Counter.add c_rank_rows nf;
+            sc.order <- grown_int sc.order nf;
+            for i = 0 to nf - 1 do
+              sc.order.(i) <- i
+            done;
+            sort_order sc nf;
+            nf)
       in
       let batch_n = min params.batch (Env.Recorder.steps_left rec_) in
-      let n_explore =
-        int_of_float (ceil (params.epsilon *. float_of_int batch_n))
-      in
+      let n_explore = int_of_float (ceil (params.epsilon *. float_of_int batch_n)) in
       let n_exploit = max 0 (batch_n - n_explore) in
-      let top = List.filteri (fun i _ -> i < n_exploit) fresh |> List.map fst in
-      let rest = List.filteri (fun i _ -> i >= n_exploit) fresh |> List.map fst in
-      (* Never request more explore samples than [rest] can provide —
-         [Rng.sample] would otherwise under-fill the batch silently. *)
-      let n_explore = min n_explore (List.length rest) in
-      let explore = Rng.sample env.Env.rng rest n_explore in
-      let chosen = top @ explore in
-      if chosen = [] then begin
+      let n_top = min n_exploit nf in
+      (* The exploration draw replays [Rng.sample] on the ranked tail:
+         copy the tail ids in rank order and run the full Fisher-Yates
+         shuffle (RNG consumption depends on the tail length, not on how
+         many ids are taken), then take the first [n_explore]. *)
+      let n_rest = nf - n_top in
+      sc.shuf <- grown_int sc.shuf n_rest;
+      for i = 0 to n_rest - 1 do
+        sc.shuf.(i) <- sc.fresh.(sc.order.(n_top + i))
+      done;
+      for i = n_rest - 1 downto 1 do
+        let j = Rng.int env.Env.rng (i + 1) in
+        let t = sc.shuf.(i) in
+        sc.shuf.(i) <- sc.shuf.(j);
+        sc.shuf.(j) <- t
+      done;
+      let n_explore = min n_explore n_rest in
+      let n_chosen = n_top + n_explore in
+      if n_chosen = 0 then begin
         incr dry_iterations;
         if !dry_iterations >= 3 then continue := false
       end
       else begin
         dry_iterations := 0;
-        (* The whole batch is measured in parallel; bookkeeping stays in
-           submission order inside [eval_batch]. *)
+        let chosen =
+          Array.init n_chosen (fun k ->
+              if k < n_top then sc.fresh.(sc.order.(k)) else sc.shuf.(k - n_top))
+        in
         let latencies =
           timed time_measure "cga.measure" (fun () ->
-              Env.Recorder.eval_batch ?pool rec_ chosen)
+              Env.Recorder.eval_batch_ids ?pool rec_ chosen)
         in
-        let measured = List.combine chosen latencies in
-        (* Degraded entries carry a cost-model prediction, not a
-           measurement: training on them would be a feedback loop, and
-           they must not seed survivors or the incumbent. *)
-        let measured =
-          List.filter (fun (a, _) -> not (Env.Recorder.degraded rec_ a)) measured
-        in
-        (* Step 4: update the cost model on the measured scores. *)
+        let measured = ref [] in
+        for i = n_chosen - 1 downto 0 do
+          let id = chosen.(i) in
+          if not (Env.Recorder.degraded_id rec_ id) then
+            measured := (id, latencies.(i)) :: !measured
+        done;
+        let measured = !measured in
+        (* Step 4: update the cost model on the measured scores, feeding
+           the cached feature rows straight into the training ring. *)
         timed time_model "cga.model" (fun () ->
-            List.iter (fun (a, l) -> Model.record model a (Env.score l)) measured;
+            List.iter
+              (fun (id, l) -> Model.record_row model sc.feats id (Env.score l))
+              measured;
             Model.refit ?pool model);
         let valid =
-          List.filter_map (fun (a, l) -> match l with Some v -> Some (a, v) | None -> None)
+          List.filter_map
+            (fun (id, l) -> match l with Some v -> Some (id, v) | None -> None)
             measured
         in
         survivors :=
-          List.sort (fun (_, x) (_, y) -> compare x y) (valid @ !survivors)
+          List.sort (fun ((_ : int), x) (_, y) -> Float.compare x y) (valid @ !survivors)
           |> List.filteri (fun i _ -> i < params.survivors)
       end
     end;

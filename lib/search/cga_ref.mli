@@ -1,0 +1,23 @@
+(** Frozen pre-overhaul CGA loop — the differential oracle for the
+    interned flat-pool engine in {!Cga}. List-rebuilt populations,
+    string-keyed dedupe/seen through {!Env_ref.Recorder}, polymorphic
+    full sorts for ranking. Shares {!Cga}'s [params], [outcome] and
+    [snapshot] types so runs and checkpoints compare byte for byte. *)
+
+val run :
+  ?params:Cga.params ->
+  ?pool:Heron_util.Pool.t ->
+  ?measure_batch:
+    (?pool:Heron_util.Pool.t ->
+    Heron_csp.Assignment.t array ->
+    float option array) ->
+  ?resilience:Env_ref.Recorder.resilience ->
+  ?resume:Cga.snapshot ->
+  ?on_snapshot:(Cga.snapshot -> unit) ->
+  Env.t ->
+  budget:int ->
+  Cga.outcome
+(** Byte-identical in results, traces, snapshots and RNG consumption to
+    the pre-overhaul {!Cga.run}. The only intentional difference from the
+    historical code is bookkeeping: step-3 ranking is charged to
+    [time_search_s] (both engines charge it identically). *)

@@ -22,6 +22,13 @@ let score_of_latency l = 1000.0 /. l
 
 let score = function None -> 0.0 | Some l -> score_of_latency l
 
+(* The recorder is the interned flat-array engine: every assignment it
+   touches is mapped to a dense int id by {!Intern} (hash computed once,
+   key string materialized only for checkpoints), and all per-config
+   bookkeeping — cache membership and values, quarantine and degraded
+   marks — lives in flat per-id arrays grown alongside the intern table.
+   [Env_ref.Recorder] is the frozen pre-overhaul string-keyed engine;
+   the [search_engine] property group holds the two byte-identical. *)
 module Recorder = struct
   let c_evals = Obs.Counter.make "env.evals"
   let c_cache_hits = Obs.Counter.make "env.cache_hits"
@@ -44,29 +51,31 @@ module Recorder = struct
     policy : Resilience.policy;
     attempt_measure : Assignment.t -> attempt:int -> Resilience.attempt;
     mutable predict : (Assignment.t -> float option) option;
-    quarantined : (string, unit) Hashtbl.t;
-    degraded : (string, unit) Hashtbl.t;
   }
 
   let make_resilience ?(policy = Resilience.default_policy) attempt_measure =
-    {
-      policy;
-      attempt_measure;
-      predict = None;
-      quarantined = Hashtbl.create 32;
-      degraded = Hashtbl.create 32;
-    }
+    { policy; attempt_measure; predict = None }
 
   let set_fallback rz predict = rz.predict <- predict
+
+  (* Per-id state bits packed into one byte. *)
+  let f_cached = 1
+  let f_quarantined = 2
+  let f_degraded = 4
 
   type r = {
     env : t;
     budget : int;
     resilience : resilience option;
     measure_batch : (?pool:Heron_util.Pool.t -> Assignment.t array -> float option array) option;
-    cache : (string, float option) Hashtbl.t;
+    intern : Intern.t;
+    mutable flags : Bytes.t;  (* per-id f_* bits *)
+    mutable cvals : float option array;  (* per-id cached measurement *)
     cache_cap : int;
-    cache_order : string Queue.t;  (* insertion order, for FIFO eviction *)
+    cache_order : int Queue.t;  (* insertion order, for FIFO eviction *)
+    mutable cache_n : int;  (* ids currently holding f_cached *)
+    mutable quar_rev : int list;  (* quarantined ids, newest first *)
+    mutable degr_rev : int list;  (* degraded ids, newest first *)
     mutable steps : int;
     mutable evals : int;  (* total eval calls, cached replays included *)
     mutable best : float option;
@@ -83,9 +92,14 @@ module Recorder = struct
       budget;
       resilience;
       measure_batch;
-      cache = Hashtbl.create 256;
+      intern = Intern.create ();
+      flags = Bytes.make 256 '\000';
+      cvals = Array.make 256 None;
       cache_cap = max 1 cache_cap;
       cache_order = Queue.create ();
+      cache_n = 0;
+      quar_rev = [];
+      degr_rev = [];
       steps = 0;
       evals = 0;
       best = None;
@@ -94,35 +108,80 @@ module Recorder = struct
       invalid = 0;
     }
 
-  let cache_size r = Hashtbl.length r.cache
+  let interner r = r.intern
 
-  let quarantined_key r key =
-    match r.resilience with None -> false | Some rz -> Hashtbl.mem rz.quarantined key
+  (* Grow the per-id arrays to cover every allocated id. Readers bound-
+     check instead (ids above the watermark carry no flags), so callers
+     that only ever read — [seen_id] on freshly interned populations —
+     cost nothing. *)
+  let ensure r =
+    let n = Intern.size r.intern in
+    if n > Bytes.length r.flags then begin
+      let cap = ref (Bytes.length r.flags) in
+      while n > !cap do
+        cap := 2 * !cap
+      done;
+      let flags = Bytes.make !cap '\000' in
+      Bytes.blit r.flags 0 flags 0 (Bytes.length r.flags);
+      r.flags <- flags;
+      let cvals = Array.make !cap None in
+      Array.blit r.cvals 0 cvals 0 (Array.length r.cvals);
+      r.cvals <- cvals
+    end
 
-  let degraded r a =
-    match r.resilience with
-    | None -> false
-    | Some rz -> Hashtbl.mem rz.degraded (Assignment.key a)
+  let intern r a =
+    let id = Intern.intern r.intern a in
+    ensure r;
+    id
+
+  let get_flag r id bit =
+    id < Bytes.length r.flags && Char.code (Bytes.unsafe_get r.flags id) land bit <> 0
+
+  let set_flag r id bit =
+    ensure r;
+    Bytes.unsafe_set r.flags id
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get r.flags id) lor bit))
+
+  let clear_flag r id bit =
+    Bytes.unsafe_set r.flags id
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get r.flags id) land lnot bit))
+
+  let cache_size r = r.cache_n
+
+  let seen_id r id = get_flag r id f_cached
+  let seen r a = seen_id r (intern r a)
+
+  let degraded_id r id = get_flag r id f_degraded
+  let degraded r a = degraded_id r (intern r a)
+
+  let cached_value r id = if get_flag r id f_cached then r.cvals.(id) else None
 
   (* Insert a fresh measurement, evicting oldest entries beyond the cap.
      Evicted configurations cost a fresh step if revisited, so the default
      cap is far above any realistic campaign's distinct-config count. *)
-  let cache_insert r key l =
-    while Hashtbl.length r.cache >= r.cache_cap do
+  let cache_insert r id l =
+    while r.cache_n >= r.cache_cap do
       let oldest = Queue.pop r.cache_order in
-      Hashtbl.remove r.cache oldest;
+      if get_flag r oldest f_cached then begin
+        clear_flag r oldest f_cached;
+        r.cvals.(oldest) <- None;
+        r.cache_n <- r.cache_n - 1
+      end;
       Obs.Counter.incr c_evictions
     done;
-    Hashtbl.replace r.cache key l;
-    Queue.push key r.cache_order
+    ensure r;
+    if not (get_flag r id f_cached) then r.cache_n <- r.cache_n + 1;
+    set_flag r id f_cached;
+    r.cvals.(id) <- l;
+    Queue.push id r.cache_order
 
   (* Shared commit path of [eval] and [eval_batch]: bookkeeping for one
      fresh measurement, in submission order. A [degraded] commit stores a
      cost-model prediction, not a measurement: it never becomes the
      incumbent best. Neither degraded nor quarantined commits count as
      [invalid] — that bucket means "the validator rejected the program". *)
-  let commit_fresh ?(degraded = false) ?(quarantined = false) r a key l =
-    cache_insert r key l;
+  let commit_fresh ?(degraded = false) ?(quarantined = false) r id l =
+    cache_insert r id l;
     r.steps <- r.steps + 1;
     Obs.Counter.incr c_steps;
     (match l with
@@ -136,7 +195,7 @@ module Recorder = struct
           let better = match r.best with None -> true | Some b -> lat < b in
           if better then begin
             r.best <- Some lat;
-            r.best_a <- Some a
+            r.best_a <- Some (Intern.assignment r.intern id)
           end
         end);
     r.trace_rev <- { step = r.steps; latency = l; best = r.best } :: r.trace_rev;
@@ -163,8 +222,8 @@ module Recorder = struct
     | Some rz ->
         Resilient (Resilience.run rz.policy (fun ~attempt -> rz.attempt_measure a ~attempt))
 
-  let commit_outcome r a key = function
-    | Plain l -> commit_fresh r a key l
+  let commit_outcome r id = function
+    | Plain l -> commit_fresh r id l
     | Resilient v -> (
         let rz =
           match r.resilience with
@@ -177,17 +236,27 @@ module Recorder = struct
         Obs.Counter.add c_fault_crashes t.Resilience.crashes;
         Obs.Counter.add c_fault_hangs t.Resilience.hangs;
         match v with
-        | Resilience.Ok_measured { latency; _ } -> commit_fresh r a key (Some latency)
-        | Resilience.Invalid_config _ -> commit_fresh r a key None
+        | Resilience.Ok_measured { latency; _ } -> commit_fresh r id (Some latency)
+        | Resilience.Invalid_config _ -> commit_fresh r id None
         | Resilience.Degraded _ ->
             Obs.Counter.incr c_degraded;
-            Hashtbl.replace rz.degraded key ();
-            let l = match rz.predict with None -> None | Some p -> p a in
-            commit_fresh ~degraded:true r a key l
+            if not (get_flag r id f_degraded) then begin
+              set_flag r id f_degraded;
+              r.degr_rev <- id :: r.degr_rev
+            end;
+            let l =
+              match rz.predict with
+              | None -> None
+              | Some p -> p (Intern.assignment r.intern id)
+            in
+            commit_fresh ~degraded:true r id l
         | Resilience.Quarantined _ ->
             Obs.Counter.incr c_quarantined;
-            Hashtbl.replace rz.quarantined key ();
-            commit_fresh ~quarantined:true r a key None)
+            if not (get_flag r id f_quarantined) then begin
+              set_flag r id f_quarantined;
+              r.quar_rev <- id :: r.quar_rev
+            end;
+            commit_fresh ~quarantined:true r id None)
 
   (* The secondary cap bounds searchers whose populations converge onto
      already-measured configurations (replays are free in budget terms but
@@ -195,28 +264,26 @@ module Recorder = struct
   let exhausted r = r.steps >= r.budget || r.evals >= 50 * r.budget
   let steps_left r = max 0 (r.budget - r.steps)
 
-  let seen r a = Hashtbl.mem r.cache (Assignment.key a)
-
-  let eval r a =
+  let eval_id r id =
     r.evals <- r.evals + 1;
     Obs.Counter.incr c_evals;
-    let key = Assignment.key a in
-    match Hashtbl.find_opt r.cache key with
-    | Some l ->
-        Obs.Counter.incr c_cache_hits;
-        l
-    | None ->
-        if quarantined_key r key then begin
-          (* Reachable only after the quarantined cache entry was evicted:
-             the config is still never re-measured and still scores 0. *)
-          Obs.Counter.incr c_quarantine_hits;
-          None
-        end
-        else if exhausted r then begin
-          Obs.Counter.incr c_skips;
-          None
-        end
-        else commit_outcome r a key (measure_outcome r a)
+    if get_flag r id f_cached then begin
+      Obs.Counter.incr c_cache_hits;
+      r.cvals.(id)
+    end
+    else if get_flag r id f_quarantined then begin
+      (* Reachable only after the quarantined cache entry was evicted:
+         the config is still never re-measured and still scores 0. *)
+      Obs.Counter.incr c_quarantine_hits;
+      None
+    end
+    else if exhausted r then begin
+      Obs.Counter.incr c_skips;
+      None
+    end
+    else commit_outcome r id (measure_outcome r (Intern.assignment r.intern id))
+
+  let eval r a = eval_id r (intern r a)
 
   (* What [eval] would do with one batch element, decided up front so the
      expensive [measure] calls can run in parallel while every piece of
@@ -226,45 +293,45 @@ module Recorder = struct
         (* replay of a pre-batch cache entry, pinned at classification time
            so a (vanishingly rare) mid-batch eviction cannot lose it *)
     | Run of int  (* fresh measurement, index into the parallel job array *)
-    | Dup of int  (* same key as job i, measured earlier in this batch *)
+    | Dup of int  (* same id as job i, measured earlier in this batch *)
     | Skip  (* budget exhausted: eval would return None unmeasured *)
     | Qhit  (* quarantined (and evicted from cache): never re-measured *)
 
-  let eval_batch ?pool r batch =
-    let batch = Array.of_list batch in
-    let n = Array.length batch in
+  let eval_batch_ids ?pool r ids =
+    let n = Array.length ids in
     (* Phase 1 — sequential classification, mirroring [eval] exactly:
        cache lookups, the budget check against steps consumed by earlier
-       batch elements, within-batch duplicates (the second occurrence of a
-       key replays the first one's cache entry), and the quarantine set. *)
+       batch elements, within-batch duplicates (the second occurrence of
+       an id replays the first one's cache entry), and the quarantine
+       flags. All O(1) per element on the per-id arrays. *)
     let plans = Array.make n Skip in
     let jobs_rev = ref [] and n_jobs = ref 0 in
     let evals_v = ref r.evals and steps_v = ref r.steps in
-    let fresh_keys = Hashtbl.create (2 * n) in
+    let fresh_ids = Hashtbl.create (2 * n) in
     for i = 0 to n - 1 do
       incr evals_v;
-      let key = Assignment.key batch.(i) in
-      match Hashtbl.find_opt r.cache key with
-      | Some l -> plans.(i) <- Cached l
-      | None -> (
-          match Hashtbl.find_opt fresh_keys key with
-          | Some j -> plans.(i) <- Dup j
-          | None ->
-              if quarantined_key r key then plans.(i) <- Qhit
-              else if !steps_v >= r.budget || !evals_v >= 50 * r.budget then
-                plans.(i) <- Skip
-              else begin
-                plans.(i) <- Run !n_jobs;
-                Hashtbl.replace fresh_keys key !n_jobs;
-                jobs_rev := batch.(i) :: !jobs_rev;
-                incr n_jobs;
-                incr steps_v
-              end)
+      let id = ids.(i) in
+      if get_flag r id f_cached then plans.(i) <- Cached r.cvals.(id)
+      else
+        match Hashtbl.find_opt fresh_ids id with
+        | Some j -> plans.(i) <- Dup j
+        | None ->
+            if get_flag r id f_quarantined then plans.(i) <- Qhit
+            else if !steps_v >= r.budget || !evals_v >= 50 * r.budget then
+              plans.(i) <- Skip
+            else begin
+              plans.(i) <- Run !n_jobs;
+              Hashtbl.replace fresh_ids id !n_jobs;
+              jobs_rev := id :: !jobs_rev;
+              incr n_jobs;
+              incr steps_v
+            end
     done;
     (* Phase 2 — the only parallel part: run the measurer (with its whole
        retry session when resilience is on) on every fresh candidate.
        Results land by job index. *)
-    let jobs = Array.of_list (List.rev !jobs_rev) in
+    let job_ids = Array.of_list (List.rev !jobs_rev) in
+    let jobs = Array.map (Intern.assignment r.intern) job_ids in
     let measured =
       match (r.measure_batch, r.resilience) with
       | Some mb, None ->
@@ -276,29 +343,30 @@ module Recorder = struct
     in
     (* Phase 3 — sequential commit in submission order, byte-identical to
        calling [eval] element by element. *)
-    Array.to_list
-      (Array.mapi
-         (fun i a ->
-           r.evals <- r.evals + 1;
-           Obs.Counter.incr c_evals;
-           match plans.(i) with
-           | Cached l ->
-               Obs.Counter.incr c_cache_hits;
-               l
-           | Dup j -> (
-               Obs.Counter.incr c_cache_hits;
-               (* Replay whatever job [j]'s commit put in the cache. *)
-               match Hashtbl.find_opt r.cache (Assignment.key jobs.(j)) with
-               | Some l -> l
-               | None -> None)
-           | Skip ->
-               Obs.Counter.incr c_skips;
-               None
-           | Qhit ->
-               Obs.Counter.incr c_quarantine_hits;
-               None
-           | Run j -> commit_outcome r a (Assignment.key a) measured.(j))
-         batch)
+    Array.mapi
+      (fun i id ->
+        r.evals <- r.evals + 1;
+        Obs.Counter.incr c_evals;
+        match plans.(i) with
+        | Cached l ->
+            Obs.Counter.incr c_cache_hits;
+            l
+        | Dup j ->
+            Obs.Counter.incr c_cache_hits;
+            (* Replay whatever job [j]'s commit put in the cache. *)
+            cached_value r job_ids.(j)
+        | Skip ->
+            Obs.Counter.incr c_skips;
+            None
+        | Qhit ->
+            Obs.Counter.incr c_quarantine_hits;
+            None
+        | Run j -> commit_outcome r id measured.(j))
+      ids
+
+  let eval_batch ?pool r batch =
+    let ids = Array.of_list (List.map (fun a -> intern r a) batch) in
+    Array.to_list (eval_batch_ids ?pool r ids)
 
   let finish r =
     {
@@ -322,8 +390,11 @@ module Recorder = struct
     x_degraded : string list;
   }
 
-  let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
-
+  (* Key strings are materialized here — and nowhere else on the hot
+     path — via the intern table's memoized [Intern.key], so repeated
+     checkpoints of a steady-state run re-use every string. The export
+     is byte-identical to the string-keyed engine's: cache in FIFO
+     order, quarantine/degraded sets sorted. *)
   let export r =
     {
       x_steps = r.steps;
@@ -334,17 +405,29 @@ module Recorder = struct
       x_trace = List.rev r.trace_rev;
       x_cache =
         List.rev
-          (Queue.fold (fun acc key -> (key, Hashtbl.find r.cache key) :: acc) [] r.cache_order);
-      x_quarantined = (match r.resilience with None -> [] | Some rz -> sorted_keys rz.quarantined);
-      x_degraded = (match r.resilience with None -> [] | Some rz -> sorted_keys rz.degraded);
+          (Queue.fold (fun acc id -> (Intern.key r.intern id, r.cvals.(id)) :: acc) []
+             r.cache_order);
+      x_quarantined =
+        List.sort String.compare (List.rev_map (Intern.key r.intern) r.quar_rev);
+      x_degraded = List.sort String.compare (List.rev_map (Intern.key r.intern) r.degr_rev);
     }
+
+  let id_of_key r ctx k =
+    match Assignment.of_key k with
+    | Ok a -> Intern.intern_keyed r.intern a k
+    | Error e ->
+        invalid_arg (Printf.sprintf "Env.Recorder.import: %s key %S: %s" ctx k e)
 
   let import ?cache_cap ?measure_batch ?resilience env ~budget x =
     let r = create ?cache_cap ?measure_batch ?resilience env ~budget in
     List.iter
       (fun (key, l) ->
-        Hashtbl.replace r.cache key l;
-        Queue.push key r.cache_order)
+        let id = id_of_key r "cache" key in
+        ensure r;
+        if not (get_flag r id f_cached) then r.cache_n <- r.cache_n + 1;
+        set_flag r id f_cached;
+        r.cvals.(id) <- l;
+        Queue.push id r.cache_order)
       x.x_cache;
     r.steps <- x.x_steps;
     r.evals <- x.x_evals;
@@ -354,8 +437,25 @@ module Recorder = struct
     r.trace_rev <- List.rev x.x_trace;
     (match resilience with
     | None -> ()
-    | Some rz ->
-        List.iter (fun k -> Hashtbl.replace rz.quarantined k ()) x.x_quarantined;
-        List.iter (fun k -> Hashtbl.replace rz.degraded k ()) x.x_degraded);
+    | Some _ ->
+        (* Like the pre-overhaul engine, quarantine/degraded marks only
+           survive an import when a resilience layer is installed (without
+           one they are unreachable anyway). *)
+        List.iter
+          (fun k ->
+            let id = id_of_key r "quarantined" k in
+            if not (get_flag r id f_quarantined) then begin
+              set_flag r id f_quarantined;
+              r.quar_rev <- id :: r.quar_rev
+            end)
+          x.x_quarantined;
+        List.iter
+          (fun k ->
+            let id = id_of_key r "degraded" k in
+            if not (get_flag r id f_degraded) then begin
+              set_flag r id f_degraded;
+              r.degr_rev <- id :: r.degr_rev
+            end)
+          x.x_degraded);
     r
 end

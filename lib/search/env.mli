@@ -33,7 +33,15 @@ val score : float option -> float
 
 (** Mutable bookkeeping shared by all searchers: counts steps, maintains
     the trace and the incumbent, and caches measurements by assignment so
-    revisiting a configuration costs no extra hardware trial. *)
+    revisiting a configuration costs no extra hardware trial.
+
+    Internally the recorder runs on interned assignments ({!Intern}):
+    every configuration is a dense int id, and cache/quarantine/degraded
+    state is flat per-id array reads — no string key is built anywhere on
+    the hot path (checkpoint export is the only place keys materialize).
+    The assignment-keyed API below is unchanged; searchers that already
+    hold ids (the {!Cga} flat-pool loop) use the [_id] entry points and
+    skip the intern lookup too. *)
 module Recorder : sig
   type r
 
@@ -104,6 +112,27 @@ module Recorder : sig
       Degraded values never become the incumbent best, and searchers must
       not feed them back into model training. *)
 
+  (** {2 Interned entry points}
+
+      The id-keyed face of the same recorder: [intern] maps an assignment
+      to its dense id (hashing it once), and the [_id] functions are the
+      O(1) array-read equivalents of their assignment-keyed namesakes —
+      same values, counters, trace and budget accounting. *)
+
+  val interner : r -> Intern.t
+  (** The recorder's intern table. Searchers share it so population ids
+      and recorder ids coincide (one id namespace per run). *)
+
+  val intern : r -> Assignment.t -> int
+
+  val seen_id : r -> int -> bool
+  val degraded_id : r -> int -> bool
+  val eval_id : r -> int -> float option
+
+  val eval_batch_ids : ?pool:Heron_util.Pool.t -> r -> int array -> float option array
+  (** [eval_batch] over interned ids; element [i] of the result is the
+      latency of [ids.(i)]. *)
+
   val finish : r -> result
 
   (** Serializable snapshot of a recorder for checkpoint/resume. *)
@@ -130,7 +159,10 @@ module Recorder : sig
     export ->
     r
   (** Rebuild a recorder in exactly the exported state (cache in the same
-      FIFO order, quarantine and degraded sets re-installed on
-      [resilience] when given), so a resumed search continues
-      byte-identically to one that was never interrupted. *)
+      FIFO order, quarantine and degraded sets restored when [resilience]
+      is given), so a resumed search continues byte-identically to one
+      that was never interrupted. Exported keys are parsed back into
+      assignments with {!Assignment.of_key}; a key that is not a
+      canonical rendering (hand-edited or corrupt checkpoint) raises
+      [Invalid_argument] before any state is restored into the run. *)
 end

@@ -1,0 +1,87 @@
+(* Assignment interning: the identity layer of the flat search engine.
+
+   Every distinct assignment the loop touches gets a dense int id, with
+   its structural hash computed once at intern time and its canonical key
+   string materialized at most once (lazily, only when something actually
+   needs the string — checkpoint export is the sole hot-path consumer).
+   Dedupe, seen/cache/quarantine/degraded checks and the fault paths all
+   become O(1) int-keyed array reads instead of rebuilding
+   [Assignment.key] on every touch.
+
+   Ids are allocated contiguously from 0, so per-id side tables (cache
+   flags, feature rows, dedupe stamps) are plain arrays indexed by id. *)
+
+module Assignment = Heron_csp.Assignment
+module Obs = Heron_obs.Obs
+
+let c_interned = Obs.Counter.make "search.interned"
+let c_intern_hits = Obs.Counter.make "search.intern_hits"
+
+type t = {
+  mutable assignments : Assignment.t array;
+  mutable keys : string option array;  (* memoized [Assignment.key] per id *)
+  mutable n : int;
+  buckets : (int, int list) Hashtbl.t;  (* structural hash -> ids, newest first *)
+}
+
+let create () =
+  {
+    assignments = Array.make 256 Assignment.empty;
+    keys = Array.make 256 None;
+    n = 0;
+    buckets = Hashtbl.create 256;
+  }
+
+let size t = t.n
+
+(* FNV-1a over the sorted bindings — no intermediate list or string. *)
+let hash a =
+  Assignment.fold
+    (fun v x h ->
+      let h = (h lxor Hashtbl.hash v) * 0x01000193 in
+      (h lxor (x land 0xFFFFFF)) * 0x01000193)
+    a 0x811C9DC5
+  land max_int
+
+let grow t =
+  let cap = Array.length t.assignments in
+  if t.n >= cap then begin
+    let cap' = 2 * cap in
+    let assignments = Array.make cap' Assignment.empty in
+    Array.blit t.assignments 0 assignments 0 t.n;
+    t.assignments <- assignments;
+    let keys = Array.make cap' None in
+    Array.blit t.keys 0 keys 0 t.n;
+    t.keys <- keys
+  end
+
+let intern t a =
+  let h = hash a in
+  let ids = match Hashtbl.find_opt t.buckets h with Some l -> l | None -> [] in
+  match List.find_opt (fun id -> Assignment.equal t.assignments.(id) a) ids with
+  | Some id ->
+      Obs.Counter.incr c_intern_hits;
+      id
+  | None ->
+      grow t;
+      let id = t.n in
+      t.assignments.(id) <- a;
+      t.n <- id + 1;
+      Hashtbl.replace t.buckets h (id :: ids);
+      Obs.Counter.incr c_interned;
+      id
+
+let intern_keyed t a key =
+  let id = intern t a in
+  if t.keys.(id) = None then t.keys.(id) <- Some key;
+  id
+
+let assignment t id = t.assignments.(id)
+
+let key t id =
+  match t.keys.(id) with
+  | Some k -> k
+  | None ->
+      let k = Assignment.key t.assignments.(id) in
+      t.keys.(id) <- Some k;
+      k

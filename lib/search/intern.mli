@@ -1,0 +1,39 @@
+(** Assignment interning — the identity layer of the flat search engine.
+
+    Maps each distinct assignment to a dense int id (allocated
+    contiguously from 0), hashing its bindings structurally exactly once
+    and memoizing the canonical {!Heron_csp.Assignment.key} string per
+    id, so the search loop's dedupe/seen/cache/quarantine bookkeeping is
+    int-keyed array access with no per-touch string building. Dense ids
+    double as indices into per-id side tables (cache flags, cached
+    feature rows, dedupe stamps).
+
+    Counters: [search.interned] counts distinct assignments admitted,
+    [search.intern_hits] counts re-interns resolved to an existing id.
+    Interning only happens on the sequential control path, so both are
+    independent of pool size. *)
+
+module Assignment = Heron_csp.Assignment
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+(** Number of ids allocated; valid ids are [0 .. size - 1]. *)
+
+val intern : t -> Assignment.t -> int
+(** The id of this assignment, allocating the next dense id on first
+    sight (structural equality; the interned copy is the first one
+    seen). *)
+
+val intern_keyed : t -> Assignment.t -> string -> int
+(** [intern_keyed t a key] is [intern t a], additionally memoizing [key]
+    as the id's key string. The caller guarantees
+    [key = Assignment.key a] — checkpoint import uses this to recycle
+    the strings it just parsed. *)
+
+val assignment : t -> int -> Assignment.t
+
+val key : t -> int -> string
+(** Canonical key string of an id, built on first use and memoized. *)

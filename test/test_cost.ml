@@ -189,6 +189,81 @@ let test_untrained_predict_batch_counts () =
   let calls1 = Obs.Counter.value c_calls in
   Alcotest.(check int) "untrained path counted" (calls0 + 1) calls1
 
+(* The batched/pre-binned entry points of the interned search engine must
+   be observably identical to the scalar paths they replace: same ring
+   bytes ([samples]), same ensemble after refit, same predictions. *)
+let batch_observations n =
+  let rng = Rng.create 23 in
+  List.init n (fun i ->
+      let a =
+        Assignment.of_list
+          [
+            ("x", [| 1; 2; 4; 8; 16 |].(Rng.int rng 5));
+            ("y", [| 1; 3; 5 |].(Rng.int rng 3));
+            ("noise", Rng.int rng 10);
+          ]
+      in
+      (a, float_of_int (i + 1)))
+
+let same_samples msg a b =
+  let sa = Model.samples a and sb = Model.samples b in
+  Alcotest.(check int) (msg ^ ": window length") (List.length sa) (List.length sb);
+  List.iter2
+    (fun (b1, y1) (b2, y2) ->
+      Alcotest.(check (array int)) (msg ^ ": bins") b1 b2;
+      Alcotest.(check (float 0.0)) (msg ^ ": score") y1 y2)
+    sa sb
+
+let test_record_batch_matches_record () =
+  let p = toy_problem () in
+  let obs = batch_observations 40 in
+  let scalar = Model.create ~window:24 p in
+  List.iter (fun (a, y) -> Model.record scalar a y) obs;
+  let batched = Model.create ~window:24 p in
+  Model.record_batch batched obs;
+  same_samples "no pool" scalar batched;
+  let pooled = Model.create ~window:24 p in
+  Heron_util.Pool.with_pool ~domains:3 (fun pool -> Model.record_batch ~pool pooled obs);
+  same_samples "pool of 3" scalar pooled;
+  (* record_row through a caller-binned matrix is the same observation. *)
+  let rowed = Model.create ~window:24 p in
+  let m = Fmat.create ~capacity:1 ~n_features:(Model.n_features rowed) () in
+  Fmat.set_rows m 1;
+  List.iter
+    (fun (a, y) ->
+      Model.featurize_row rowed a m 0;
+      Model.record_row rowed m 0 y)
+    obs;
+  same_samples "record_row" scalar rowed
+
+let test_predict_gather_matches_predict_batch () =
+  let p = toy_problem () in
+  let obs = batch_observations 60 in
+  let m = Model.create p in
+  List.iter (fun (a, y) -> Model.record m a y) obs;
+  Model.refit m;
+  Alcotest.(check bool) "trained" true (Model.trained m);
+  let probes = List.map fst (batch_observations 17) in
+  let n = List.length probes in
+  (* Bin each probe once into a scratch matrix, scattered over rows. *)
+  let src = Fmat.create ~capacity:(2 * n) ~n_features:(Model.n_features m) () in
+  Fmat.set_rows src (2 * n);
+  let rows = Array.init n (fun i -> (2 * i) + 1) in
+  List.iteri (fun i a -> Model.featurize_row m a src rows.(i)) probes;
+  let out = Array.make n nan in
+  Model.predict_gather m src rows n out;
+  let expect = Array.of_list (Model.predict_batch m probes) in
+  Alcotest.(check (array (float 0.0))) "gather = batch" expect out;
+  (* Untrained: both paths yield zeros. *)
+  let fresh = Model.create p in
+  let out0 = Array.make n nan in
+  List.iteri (fun i a -> Model.featurize_row fresh a src rows.(i)) probes;
+  Model.predict_gather fresh src rows n out0;
+  Alcotest.(check (array (float 0.0)))
+    "untrained zeros"
+    (Array.of_list (Model.predict_batch fresh probes))
+    out0
+
 let test_samples_restore_roundtrip () =
   let p = toy_problem () in
   let m = Model.create ~window:10 p in
@@ -234,6 +309,9 @@ let suite =
     Alcotest.test_case "key variable fallback" `Quick test_key_variables_fallback;
     Alcotest.test_case "gbt matches reference" `Quick test_gbt_matches_reference;
     Alcotest.test_case "O(1) record" `Quick test_record_constant_allocation;
+    Alcotest.test_case "record_batch = record" `Quick test_record_batch_matches_record;
+    Alcotest.test_case "predict_gather = predict_batch" `Quick
+      test_predict_gather_matches_predict_batch;
     Alcotest.test_case "untrained predict_batch counts" `Quick test_untrained_predict_batch_counts;
     Alcotest.test_case "samples/restore round-trip" `Quick test_samples_restore_roundtrip;
   ]

@@ -10,6 +10,7 @@ module Assignment = Heron_csp.Assignment
 module Solver = Heron_csp.Solver
 module Env = Heron_search.Env
 module Cga = Heron_search.Cga
+module Cga_ref = Heron_search.Cga_ref
 module Baselines = Heron_search.Baselines
 module Rng = Heron_util.Rng
 
@@ -408,6 +409,82 @@ let test_checkpoint_diagnostics () =
   expect_error ~needle:"missing field \"rng\""
     "{\"heron_checkpoint\": 1, \"label\": \"x\", \"iter\": 0, \"dry\": 0, \"stopped\": false}"
 
+(* Allocation regression pins for the exploration loop. Two claims:
+
+   (1) Steady-state per-iteration minor-heap churn is amortized O(1):
+   the flat engine keeps population ids, scores, ranking order and
+   feature rows in arrays reused across iterations, so once those reach
+   their high-water mark a late iteration allocates what an early one
+   does — growth of the recorder's seen/cache state or the training
+   window must not leak into per-iteration allocation.
+
+   (2) The interned engine allocates strictly less than the frozen
+   string-keyed loop on identical work (same seed, draw-for-draw
+   identical trajectory): no per-candidate key strings, no per-
+   generation scored lists, no per-ranking re-binning. Both runs are
+   deterministic, so the minor-word totals are exact, not noisy. *)
+let test_cga_iteration_allocation_constant () =
+  (* Unconstrained 6-var space (~260k points): candidates stay plentiful
+     for the whole run, so every iteration does full-size work. *)
+  let wide_problem () =
+    let b = Problem.builder () in
+    List.iter
+      (fun v -> Problem.add_var b v (Domain.of_list (List.init 8 (fun i -> i + 1))))
+      [ "a"; "b"; "c"; "d"; "e"; "f" ];
+    Problem.freeze b
+  in
+  let p = wide_problem () in
+  let make_env () =
+    {
+      Env.problem = p;
+      measure =
+        (fun a ->
+          let s = Assignment.fold (fun v x acc -> acc + (x * String.length v)) a 17 in
+          Some (1.0 +. float_of_int (s land 0xFF)));
+      rng = Rng.create 42;
+    }
+  in
+  let params =
+    {
+      Cga.default_params with
+      Cga.pop_size = 64;
+      generations = 3;
+      batch = 4;
+      top_k = 3;
+      survivors = 8;
+    }
+  in
+  let words = ref [] in
+  let on_snapshot _ = words := Gc.minor_words () :: !words in
+  let w0 = Gc.minor_words () in
+  ignore (Cga.run ~params ~on_snapshot (make_env ()) ~budget:60);
+  let live_total = Gc.minor_words () -. w0 in
+  let ws = Array.of_list (List.rev !words) in
+  let n = Array.length ws in
+  Alcotest.(check bool) "enough iterations" true (n >= 12);
+  let delta i = ws.(i + 1) -. ws.(i) in
+  let avg lo hi =
+    let acc = ref 0.0 in
+    for i = lo to hi - 1 do
+      acc := !acc +. delta i
+    done;
+    !acc /. float_of_int (hi - lo)
+  in
+  (* Skip iteration 0 (scratch arrays grow to their high-water mark). *)
+  let early = avg 1 4 and late = avg (n - 4) (n - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(1) iteration churn (early %.0f vs late %.0f words)" early late)
+    true
+    (late < early *. 1.3);
+  let w1 = Gc.minor_words () in
+  ignore (Cga_ref.run ~params (make_env ()) ~budget:60);
+  let ref_total = Gc.minor_words () -. w1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocates under 0.9x the frozen loop (live %.0f vs ref %.0f words)"
+       live_total ref_total)
+    true
+    (live_total < ref_total *. 0.9)
+
 let suite =
   [
     Alcotest.test_case "fig5 optimum" `Quick test_fig5_optimum_known;
@@ -435,4 +512,6 @@ let suite =
     Alcotest.test_case "resume rejects foreign snapshots" `Quick
       test_resume_rejects_foreign_snapshot;
     Alcotest.test_case "checkpoint diagnostics" `Quick test_checkpoint_diagnostics;
+    Alcotest.test_case "O(1) iteration allocation" `Quick
+      test_cga_iteration_allocation_constant;
   ]
