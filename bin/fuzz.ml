@@ -30,13 +30,30 @@ let collect ~budget ~filter =
              else None)
            tests)
 
-let run budget seed filter list_only trace metrics faults =
+(* A simulated process death from --io-faults must terminate like a real
+   crash would: nonzero (3), nothing handled. (The crash property group
+   installs and clears its own injector per scenario, independent of this
+   process default.) *)
+let crash_to_exit3 f =
+  try f ()
+  with Heron_util.Io_faults.Crashed _ as e ->
+    Printf.eprintf "io-faults: %s\n%!" (Printexc.to_string e);
+    3
+
+let run budget seed filter list_only trace metrics faults io_faults =
   match Heron_dla.Faults.parse faults with
   | Error e ->
       prerr_endline e;
       2
   | Ok fault_spec ->
+  match Heron_util.Io_faults.parse io_faults with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok io_spec ->
   Heron_dla.Faults.set_default fault_spec;
+  Heron_util.Io_faults.set_default (Option.map Heron_util.Io_faults.create io_spec);
+  crash_to_exit3 @@ fun () ->
   let tests = collect ~budget ~filter in
   if list_only then begin
     List.iter (fun (group, name, _) -> Printf.printf "%-8s %s\n" group name) tests;
@@ -126,7 +143,20 @@ let () =
              comma-separated key=value pairs over seed, timeout, crash, \
              hang, noise, persistent. See heron_tune --help.")
   in
-  let term = Term.(const run $ budget $ seed $ filter $ list_only $ trace $ metrics $ faults) in
+  let io_faults =
+    Arg.(
+      value & opt string "off"
+      & info [ "io-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic storage-fault injection installed as the \
+             process default for every property that writes files: \
+             $(b,off), $(b,record), $(b,crash_at=N), or comma-separated \
+             key=value pairs over seed, enospc, eio, torn, rename, crash, \
+             persistent. See heron_tune --help.")
+  in
+  let term =
+    Term.(const run $ budget $ seed $ filter $ list_only $ trace $ metrics $ faults $ io_faults)
+  in
   let info =
     Cmd.info "fuzz"
       ~doc:"Property-based fuzzing campaigns for the Heron CSP solver, DLA layer and search."

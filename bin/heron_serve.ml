@@ -75,8 +75,16 @@ let cold_lookup path key =
       List.find_opt (fun (e : Library.entry) -> e.Library.op_key ^ "@" ^ e.Library.dla = key)
         (Library.entries lib)
 
+(* A simulated process death from --io-faults must terminate like a real
+   crash would: nonzero (3, matching --kill-after), nothing handled. *)
+let crash_to_exit3 f =
+  try f ()
+  with Heron_util.Io_faults.Crashed _ as e ->
+    Printf.eprintf "io-faults: %s\n%!" (Printexc.to_string e);
+    3
+
 let run dla universe dir requests zipf waves budget family_max seed jobs kill_after dump
-    bench gate trace metrics =
+    bench gate trace metrics io_faults =
   match desc_of_string dla with
   | Error e ->
       prerr_endline e;
@@ -87,6 +95,17 @@ let run dla universe dir requests zipf waves budget family_max seed jobs kill_af
           prerr_endline e;
           2
       | Ok ops ->
+          match Heron_util.Io_faults.parse io_faults with
+          | Error e ->
+              prerr_endline e;
+              2
+          | Ok io_spec ->
+          Heron_util.Io_faults.set_default
+            (Option.map Heron_util.Io_faults.create io_spec);
+          (match io_spec with
+          | None -> ()
+          | Some s -> Printf.printf "io-faults: %s\n%!" (Heron_util.Io_faults.to_string s));
+          crash_to_exit3 @@ fun () ->
           let jobs = max 1 jobs in
           let manifest =
             Obs.manifest ~tool:"heron_serve" ~seed ~descriptor:desc.D.dname ~budget ~jobs ()
@@ -349,10 +368,25 @@ let () =
   let metrics =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Print counter totals when done.")
   in
+  let io_faults =
+    Arg.(
+      value & opt string "off"
+      & info [ "io-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic storage-fault injection on the write path \
+             (store snapshots, queue checkpoints, journal writes): \
+             $(b,off); $(b,record) (inject nothing, count I/O sites); \
+             $(b,crash_at=N) (simulate process death at the N-th site, \
+             exit 3); or comma-separated key=value pairs over seed, \
+             enospc, eio, torn, rename, crash, persistent. Faults are a \
+             pure function of the spec and the write history — zero RNG \
+             state is consumed. A persistent rate flips the daemon into \
+             degraded read-only serving.")
+  in
   let term =
     Term.(
       const run $ dla $ universe $ dir $ requests $ zipf $ waves $ budget $ family_max $ seed
-      $ jobs $ kill_after $ dump $ bench $ gate $ trace $ metrics)
+      $ jobs $ kill_after $ dump $ bench $ gate $ trace $ metrics $ io_faults)
   in
   let info =
     Cmd.info "heron_serve"

@@ -97,8 +97,23 @@ let run_network desc name ~budget ~seed ~jobs ~slice ~policy ~transfer trace met
           | Some l -> Printf.printf "end-to-end latency: %.2f us\n" l);
           0)
 
+(* A simulated process death from --io-faults must terminate like a real
+   crash would: nonzero (3, matching --kill-after), nothing handled. *)
+let crash_to_exit3 f =
+  try f ()
+  with Heron_util.Io_faults.Crashed _ as e ->
+    Printf.eprintf "io-faults: %s\n%!" (Printexc.to_string e);
+    3
+
 let run dla network kind dims dt trials seed jobs slice round_robin no_transfer trace metrics
-    faults checkpoint resume kill_after =
+    faults io_faults checkpoint resume kill_after =
+  match Heron_util.Io_faults.parse io_faults with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok io_spec ->
+  Heron_util.Io_faults.set_default (Option.map Heron_util.Io_faults.create io_spec);
+  crash_to_exit3 @@ fun () ->
   match desc_of_string dla with
   | Error e -> prerr_endline e; 2
   | Ok desc -> (
@@ -246,6 +261,22 @@ let () =
              configuration, so campaigns are reproducible and identical \
              for any --jobs value.")
   in
+  let io_faults =
+    Arg.(
+      value & opt string "off"
+      & info [ "io-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic storage-fault injection on the write path \
+             (checkpoints, library saves, journal writes): $(b,off); \
+             $(b,record) (inject nothing, count I/O sites); \
+             $(b,crash_at=N) (simulate process death at the N-th site, \
+             exit 3); or comma-separated key=value pairs over seed, \
+             enospc, eio, torn, rename, crash, persistent (e.g. \
+             $(b,seed=1,enospc=0.05,torn=0.1)). Faults are a pure \
+             function of the spec and the write history — zero RNG state \
+             is consumed, so search results are unchanged unless a write \
+             actually fails.")
+  in
   let checkpoint =
     Arg.(
       value
@@ -278,7 +309,7 @@ let () =
   let term =
     Term.(
       const run $ dla $ network $ kind $ dims $ dt $ trials $ seed $ jobs $ slice $ round_robin
-      $ no_transfer $ trace $ metrics $ faults $ checkpoint $ resume $ kill_after)
+      $ no_transfer $ trace $ metrics $ faults $ io_faults $ checkpoint $ resume $ kill_after)
   in
   let info = Cmd.info "heron_tune" ~doc:"Tune one operator with Heron on a simulated DLA." in
   exit (Cmd.eval' (Cmd.v info term))

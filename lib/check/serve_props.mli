@@ -1,6 +1,6 @@
 (** Properties of the serving layer: the lookup index against a naive
     library oracle, store publish/reload round-trips (including manifest
-    corruption), tuning-queue dedup, and resume-from-any-queue-checkpoint
-    equality. *)
+    corruption), torn-snapshot rejection via the checksum sidecar,
+    tuning-queue dedup, and resume-from-any-queue-checkpoint equality. *)
 
 val tests : ?count:int -> unit -> QCheck.Test.t list

@@ -10,4 +10,5 @@ let all ~budget =
     ("fault", Fault_props.tests ~count:(at (budget / 15)) ());
     ("serve", Serve_props.tests ~count:(at (budget / 15)) ());
     ("nets", Nets_props.tests ~count:(at (budget / 15)) ());
+    ("crash", Crash_props.tests ~count:(at (budget / 15)) ());
   ]

@@ -129,13 +129,10 @@ let to_string t =
   entries t |> List.map entry_to_line |> String.concat "\n"
   |> fun body -> if body = "" then body else body ^ "\n"
 
-let save t path =
-  let oc = open_out path in
-  (try output_string oc (to_string t)
-   with e ->
-     close_out oc;
-     raise e);
-  close_out oc
+(* Through the atomic protocol (tmp + rename): a library save interrupted
+   at any instant leaves the previous file (or nothing), never a torn one
+   a later [load] would half-parse. *)
+let save t path = Heron_util.Atomic_io.write_string ~path (to_string t)
 
 let load_result path =
   match In_channel.with_open_bin path In_channel.input_all with

@@ -45,6 +45,8 @@ val build :
     skipped. *)
 
 val save : t -> string -> unit
+(** Writes through {!Heron_util.Atomic_io} (tmp + rename): a save killed
+    at any instant leaves the previous file intact, never a torn one. *)
 
 val load : string -> t
 (** Strict load. @raise Failure on unreadable files or the first malformed

@@ -358,8 +358,9 @@ let tune ?(budget = 256) ?(seed = 42) ?(slice = 16) ?(policy = Scheduler.Gradien
     match checkpoint with
     | None -> ()
     | Some path ->
-        Heron_util.Atomic_io.write_string ~path
-          (Json.to_string (checkpoint_json ~label sched !allocations states) ^ "\n");
+        Heron_util.Atomic_io.with_retry ~what:"nets.checkpoint" (fun () ->
+            Heron_util.Atomic_io.write_string ~path
+              (Json.to_string (checkpoint_json ~label sched !allocations states) ^ "\n"));
         incr writes;
         (* Crash simulation: die (uncleanly, as a crash would) after the
            Nth checkpoint write. *)

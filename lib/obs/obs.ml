@@ -167,11 +167,28 @@ type sink = {
   baseline : (string, int) Hashtbl.t;  (* counter values when the trace started *)
   span_ids : int Atomic.t;
   mutable events : int;
+  mutable seq : int;  (* write attempts, including dropped ones *)
 }
 
 let current : sink option Atomic.t = Atomic.make None
 
 let enabled () = Atomic.get current <> None
+
+(* The journal is observability, not durability: a failed event write
+   (real EIO, or a fault injected through the hook below) drops that one
+   event and counts it, instead of aborting a tuning run over its own
+   telemetry. The hook is keyed on [seq] — a counter of write *attempts*,
+   not successes — so one dropped event never condemns the rest of the
+   stream to the same hash decision. *)
+let c_journal_write_failures = Counter.make "obs.journal_write_failures"
+let c_journal_rename_failures = Counter.make "obs.journal_rename_failures"
+
+let no_journal_fault ~path:_ ~seq:_ = false
+let journal_write_fault = ref no_journal_fault
+
+let set_journal_write_fault = function
+  | None -> journal_write_fault := no_journal_fault
+  | Some f -> journal_write_fault := f
 
 let write_event s ev fields =
   Mutex.lock s.mutex;
@@ -184,9 +201,16 @@ let write_event s ev fields =
           :: ("ev", Json.String ev)
           :: fields))
   in
-  output_string s.oc line;
-  output_char s.oc '\n';
-  s.events <- s.events + 1;
+  let seq = s.seq in
+  s.seq <- seq + 1;
+  (match
+     if !journal_write_fault ~path:s.path ~seq then
+       raise (Sys_error (s.path ^ ": injected journal write fault"));
+     output_string s.oc line;
+     output_char s.oc '\n'
+   with
+  | () -> s.events <- s.events + 1
+  | exception Sys_error _ -> Counter.incr c_journal_write_failures);
   Mutex.unlock s.mutex
 
 let emit ev fields =
@@ -213,6 +237,7 @@ let start ~path m =
       baseline;
       span_ids = Atomic.make 0;
       events = 0;
+      seq = 0;
     }
   in
   Atomic.set current (Some s);
@@ -251,7 +276,13 @@ let stop () =
       write_event s "trace_end" [ ("events", Json.Int (s.events + 1)) ];
       Atomic.set current None;
       close_out_noerr s.oc;
-      (try Unix.rename (s.path ^ ".tmp") s.path with Unix.Unix_error _ -> ())
+      (* A failed finalizing rename loses the whole journal; that must at
+         least be visible — count it and say where the bytes still are. *)
+      (try Unix.rename (s.path ^ ".tmp") s.path
+       with Unix.Unix_error (err, _, _) ->
+         Counter.incr c_journal_rename_failures;
+         Printf.eprintf "warning: obs: could not finalize journal %s: %s (events remain in %s)\n%!"
+           s.path (Unix.error_message err) (s.path ^ ".tmp"))
 
 let with_trace path m f =
   match path with

@@ -86,6 +86,15 @@ val with_trace : string option -> manifest -> (unit -> 'a) -> 'a
 val enabled : unit -> bool
 (** Whether a journal sink is currently installed. *)
 
+val set_journal_write_fault : (path:string -> seq:int -> bool) option -> unit
+(** Install (or clear, with [None]) a write-fault hook consulted before
+    every journal line: returning [true] makes that write fail as a
+    [Sys_error] would. A failed journal write — injected or real — drops
+    that one event and increments [obs.journal_write_failures] instead of
+    aborting the run; [seq] counts write {e attempts}, so consecutive
+    events key independently. Installed by
+    {!Heron_util.Io_faults.set_default}; not meant for direct use. *)
+
 val emit : string -> (string * Json.t) list -> unit
 (** [emit ev fields] appends one event line (adding [v]/[t_ns]/[ev]).
     Serialized under the sink mutex; timestamps are taken under the lock so

@@ -82,6 +82,10 @@ let required_fields = function
           ("best", is_opt_number);
           ("gain", is_opt_number);
         ]
+  | "io_retry" ->
+      (* One bounded-backoff retry of a durable write (store publish,
+         checkpoint) after a transient storage error. *)
+      Some [ ("what", is_string); ("attempt", is_int); ("error", is_string) ]
   | "trace_end" -> Some [ ("events", is_int) ]
   | _ -> None
 

@@ -59,7 +59,8 @@ let to_json ~label (s : Cga.snapshot) =
     ]
 
 let save ~path ~label s =
-  Heron_util.Atomic_io.write_string ~path (Json.to_string (to_json ~label s) ^ "\n")
+  Heron_util.Atomic_io.with_retry ~what:"search.checkpoint" (fun () ->
+      Heron_util.Atomic_io.write_string ~path (Json.to_string (to_json ~label s) ^ "\n"))
 
 (* ---------- decoding ---------- *)
 

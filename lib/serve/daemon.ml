@@ -18,6 +18,9 @@ let c_enqueued = Obs.Counter.make "serve.enqueued"
 let c_deduped = Obs.Counter.make "serve.deduped"
 let c_tasks = Obs.Counter.make "serve.tasks"
 let c_unresolved = Obs.Counter.make "serve.unresolved"
+let c_publish_failures = Obs.Counter.make "serve.publish_failures"
+let c_queue_sync_failures = Obs.Counter.make "serve.queue_sync_failures"
+let g_read_only = Obs.Gauge.make "serve.read_only"
 
 type config = {
   dir : string;
@@ -43,7 +46,18 @@ type t = {
   index : Index.t;
   queue : Tuning_queue.t;
   mutable library : Library.t;
-  mutable version : int;
+  mutable version : int;  (* latest *durable* store version *)
+  mutable index_version : int;
+      (* logical version of the served index: tracks [version] while the
+         disk is healthy, keeps advancing past it in read-only mode so
+         {!Index.publish}'s strict monotonicity holds for in-memory-only
+         publishes *)
+  mutable read_only : bool;
+      (* the store stopped accepting writes (persistent ENOSPC/EIO after
+         retries); serving continues from memory, publishes stay queued *)
+  mutable unflushed : Tuning_queue.task list;
+      (* tasks tuned into [library] but not yet durably published; kept in
+         the on-disk queue so a crash in read-only mode redoes them *)
   load_warnings : Library.load_warning list;
   recovered : bool;
 }
@@ -71,6 +85,9 @@ let start config =
     queue;
     library;
     version;
+    index_version = version;
+    read_only = false;
+    unflushed = [];
     load_warnings;
     recovered;
   }
@@ -82,8 +99,15 @@ let index t = t.index
 let queue_length t = Tuning_queue.length t.queue
 let load_warnings t = t.load_warnings
 let recovered t = t.recovered
+let read_only t = t.read_only
 
-let sync t = Tuning_queue.save t.queue ~path:(queue_path t.config)
+(* Queue checkpoints must never take the serving path down: a failed sync
+   (full disk) is counted and the in-memory queue stays authoritative. A
+   simulated crash ([Io_faults.Crashed]) is not a [Sys_error] and still
+   propagates — process death is not a degraded mode. *)
+let sync t =
+  try Tuning_queue.save t.queue ~path:(queue_path t.config)
+  with Sys_error _ -> Obs.Counter.incr c_queue_sync_failures
 
 (* ---------- the lookup path ---------- *)
 
@@ -206,11 +230,56 @@ let tune_task ?pool ?params ~donor t task op =
       in
       (result, Heron_cost.Model.samples outcome.Cga.model))
 
+(* A durable publish succeeded: flip out of read-only if we were in it,
+   settle every task the new snapshot covers, and swap the index. *)
+let published ?on_publish t version ~settled lib =
+  if t.read_only then begin
+    t.read_only <- false;
+    Obs.Gauge.set g_read_only 0.0
+  end;
+  (match on_publish with Some f -> f version | None -> ());
+  t.library <- lib;
+  t.version <- version;
+  t.index_version <- max version (t.index_version + 1);
+  Index.publish t.index (Index.build ~version:t.index_version lib);
+  Tuning_queue.remove t.queue settled;
+  t.unflushed <- [];
+  sync t
+
+(* The store refused the write even after retries: degrade to read-only
+   serving. The freshly tuned results still go live in memory — traffic is
+   answered with the best known schedules — while the tasks stay in the
+   durable queue, so a crash in this mode redoes them (idempotently) and
+   the next successful publish persists everything at once. *)
+let publish_failed t ~batch lib =
+  Obs.Counter.incr c_publish_failures;
+  if not t.read_only then begin
+    t.read_only <- true;
+    Obs.Gauge.set g_read_only 1.0
+  end;
+  t.library <- lib;
+  t.index_version <- t.index_version + 1;
+  Index.publish t.index (Index.build ~version:t.index_version lib);
+  t.unflushed <- t.unflushed @ batch
+
+(* In read-only mode, try to flush the accumulated in-memory state before
+   tuning anything new. Cheap when it fails (one publish attempt), and on
+   success the queued tasks settle without being re-tuned. *)
+let retry_pending_publish ?on_publish t =
+  if t.read_only then
+    match Store.publish ~keep:t.config.keep t.store t.library with
+    | version -> published ?on_publish t version ~settled:t.unflushed t.library
+    | exception Sys_error _ -> Obs.Counter.incr c_publish_failures
+
 let pump ?pool ?params ?on_publish t ~max_tasks =
   Obs.with_span "serve.pump" (fun () ->
       let tuned = ref 0 in
       let continue_ = ref true in
-      while !continue_ && !tuned < max_tasks && not (Tuning_queue.is_empty t.queue) do
+      retry_pending_publish ?on_publish t;
+      while
+        !continue_ && (not t.read_only) && !tuned < max_tasks
+        && not (Tuning_queue.is_empty t.queue)
+      do
         let batch =
           Tuning_queue.peek_family t.queue ~max:(min t.config.family_max (max_tasks - !tuned))
         in
@@ -231,21 +300,16 @@ let pump ?pool ?params ?on_publish t ~max_tasks =
                       lib := Library.add !lib t.config.desc op ~latency_us a
                   | None -> ()))
             batch;
-          (* One atomic publish per family batch: snapshot file + manifest
+          (* One atomic publish per family batch: snapshot + sum + manifest
              on disk, then the index swap, then the queue checkpoint with
              the batch removed. A crash before the final checkpoint re-runs
              the batch on resume — idempotent, because tuning is a pure
-             function of each task's key-derived seed. *)
-          let version = Store.publish ~keep:t.config.keep t.store !lib in
-          (* The crash hook fires in the hardest window: the snapshot is
-             durable but the queue checkpoint still lists the batch. A
-             resume re-tunes it and republishes identical content. *)
-          (match on_publish with Some f -> f version | None -> ());
-          t.library <- !lib;
-          t.version <- version;
-          Index.publish t.index (Index.build ~version !lib);
-          Tuning_queue.remove t.queue batch;
-          sync t
+             function of each task's key-derived seed. The crash hook fires
+             in the hardest window: the snapshot is durable but the queue
+             checkpoint still lists the batch. *)
+          match Store.publish ~keep:t.config.keep t.store !lib with
+          | version -> published ?on_publish t version ~settled:(t.unflushed @ batch) !lib
+          | exception Sys_error _ -> publish_failed t ~batch !lib
         end
       done;
       !tuned)

@@ -8,10 +8,21 @@
     at any instant and restarted from the same directory drains to a final
     library byte-identical to an uninterrupted run, at any [--jobs].
 
+    Degraded mode: when the store refuses writes even after bounded
+    retries (persistent ENOSPC/EIO), the daemon flips read-only — the
+    [serve.read_only] gauge goes to 1, lookups keep being answered from
+    the in-memory index (including freshly tuned results), tuned tasks
+    stay in the durable queue, and every subsequent {!pump} first retries
+    the pending publish; the first success persists everything at once
+    and flips the gauge back to 0. Queue-checkpoint write failures are
+    likewise non-fatal (counted on [serve.queue_sync_failures]).
+
     Counters: [serve.lookups], [serve.hits], [serve.misses],
     [serve.degraded], [serve.enqueued], [serve.deduped], [serve.publishes]
-    (in {!Store}), [serve.tasks], [serve.unresolved]. Spans: [serve.pump],
-    [serve.tune], [serve.publish]. None of them touch RNG state. *)
+    (in {!Store}), [serve.tasks], [serve.unresolved],
+    [serve.publish_failures], [serve.queue_sync_failures]. Gauge:
+    [serve.read_only]. Spans: [serve.pump], [serve.tune], [serve.publish].
+    None of them touch RNG state. *)
 
 module Op = Heron_tensor.Op
 module Descriptor = Heron_dla.Descriptor
@@ -55,6 +66,11 @@ val load_warnings : t -> Library.load_warning list
 val recovered : t -> bool
 (** The manifest was unusable and startup recovered from a snapshot scan. *)
 
+val read_only : t -> bool
+(** The store is currently refusing writes and the daemon serves from the
+    in-memory index only; publishes are queued. Cleared by the first
+    successful publish retry. *)
+
 type served = {
   s_outcome : Index.outcome;
   s_version : int;  (** index snapshot version that answered *)
@@ -71,7 +87,9 @@ val lookup_op : t -> Op.t -> served
 (** [lookup] after building the probe; for one-off callers. *)
 
 val sync : t -> unit
-(** Checkpoint the queue now (also done on every accepted task). *)
+(** Checkpoint the queue now (also done on every accepted task). A failed
+    write is counted ([serve.queue_sync_failures]) and never raised — the
+    in-memory queue stays authoritative. *)
 
 val pump :
   ?pool:Heron_util.Pool.t ->
@@ -85,9 +103,12 @@ val pump :
     later members warm-start from the previous member's cost-model window
     when feature layouts agree — then atomically publish one new library
     version, swap the index, drop the batch from the queue and checkpoint
-    it. [on_publish] runs right after the store publish, {e before} the
-    queue checkpoint — the hardest crash window, so kill-simulation
-    hooks exercise the redo path.
+    it. [on_publish] runs right after a {e durable} store publish,
+    {e before} the queue checkpoint — the hardest crash window, so
+    kill-simulation hooks exercise the redo path.
+    A publish that fails even after retries flips the daemon read-only:
+    the batch's results go live in memory, the tasks stay queued, and the
+    pump stops tuning until a later call's pending-publish retry succeeds.
     Returns the number of tasks tuned. Results are identical for any
     [?pool] size. *)
 

@@ -6,6 +6,7 @@ module Hashing = Heron_util.Hashing
 
 let c_publishes = Obs.Counter.make "serve.publishes"
 let c_recoveries = Obs.Counter.make "serve.store_recoveries"
+let c_rejected = Obs.Counter.make "serve.snapshots_rejected"
 
 let manifest_version = 1
 
@@ -26,6 +27,7 @@ let dir t = t.dir
 let manifest_path t = Filename.concat t.dir "MANIFEST.json"
 let snapshot_name version = Printf.sprintf "lib-%06d.heron" version
 let snapshot_path t version = Filename.concat t.dir (snapshot_name version)
+let sum_path t version = snapshot_path t version ^ ".sum"
 let checksum body = Printf.sprintf "%016Lx" (Hashing.fnv1a body)
 
 (* Snapshot files present on disk, by the version embedded in their name. *)
@@ -73,18 +75,34 @@ let load_latest t =
       let library, warnings = Library.of_string_lenient body in
       Some { version; library; recovered = false; warnings }
   | None -> (
-      (* Recovery: newest snapshot that reads and parses. Snapshot files are
-         written atomically so they cannot be torn, but a hand-edited or
-         half-deleted store still degrades gracefully here. *)
+      (* Recovery: newest snapshot that verifies. Each snapshot carries a
+         [.sum] sidecar written (durably) before the manifest; a snapshot
+         whose sidecar disagrees is torn — lost page-cache writes after a
+         power cut — and must be rejected, not half-loaded. Legacy
+         snapshots without a sidecar are accepted only when they parse
+         without a single warning. *)
       let rec scan = function
         | [] -> None
         | version :: older -> (
             match read_file (snapshot_path t version) with
             | None -> scan older
-            | Some body ->
-                let library, warnings = Library.of_string_lenient body in
-                Obs.Counter.incr c_recoveries;
-                Some { version; library; recovered = true; warnings })
+            | Some body -> (
+                let accept () =
+                  let library, warnings = Library.of_string_lenient body in
+                  Obs.Counter.incr c_recoveries;
+                  Some { version; library; recovered = true; warnings }
+                in
+                match read_file (sum_path t version) with
+                | Some sum when String.trim sum = checksum body -> accept ()
+                | Some _ ->
+                    Obs.Counter.incr c_rejected;
+                    scan older
+                | None -> (
+                    match Library.of_string_lenient body with
+                    | _, [] -> accept ()
+                    | _ ->
+                        Obs.Counter.incr c_rejected;
+                        scan older)))
       in
       match scan (List.rev (versions t)) with
       | Some _ as r -> r
@@ -98,25 +116,38 @@ let publish ?(keep = 4) t lib =
   Obs.with_span "serve.publish" (fun () ->
       let version = current_version t + 1 in
       let body = Library.to_string lib in
-      Atomic_io.write_string ~path:(snapshot_path t version) body;
+      let sum = checksum body in
+      (* Publish protocol, ordered so a crash at any syscall boundary leaves
+         a recoverable store: snapshot first, then its checksum sidecar,
+         then the manifest flip. All three are durable (fsync'd) and retried
+         on transient errors; a crash between steps leaves at worst an
+         orphan snapshot the recovery scan will verify or skip. *)
+      Atomic_io.with_retry ~what:"store.snapshot" (fun () ->
+          Atomic_io.write_string ~fsync:true ~path:(snapshot_path t version) body);
+      Atomic_io.with_retry ~what:"store.sum" (fun () ->
+          Atomic_io.write_string ~fsync:true ~path:(sum_path t version) (sum ^ "\n"));
       let manifest =
         Json.Obj
           [
             ("heron_store", Json.Int manifest_version);
             ("version", Json.Int version);
             ("file", Json.String (snapshot_name version));
-            ("checksum", Json.String (checksum body));
+            ("checksum", Json.String sum);
             ("entries", Json.Int (Library.size lib));
           ]
       in
-      Atomic_io.write_string ~path:(manifest_path t) (Json.to_string manifest ^ "\n");
+      Atomic_io.with_retry ~what:"store.manifest" (fun () ->
+          Atomic_io.write_string ~fsync:true ~path:(manifest_path t)
+            (Json.to_string manifest ^ "\n"));
       Obs.Counter.incr c_publishes;
       (* Retention: the published snapshot plus at most [keep - 1] older
          ones. Pruning after the manifest rename keeps every crash window
          recoverable. *)
       List.iter
         (fun v ->
-          if v <= version - keep then
-            try Sys.remove (snapshot_path t v) with Sys_error _ -> ())
+          if v <= version - keep then begin
+            (try Sys.remove (snapshot_path t v) with Sys_error _ -> ());
+            try Sys.remove (sum_path t v) with Sys_error _ -> ()
+          end)
         (versions t);
       version)

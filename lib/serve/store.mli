@@ -1,13 +1,16 @@
 (** Versioned on-disk schedule store: monotonically numbered immutable
     library snapshots plus a manifest naming the latest one.
 
-    Publishing writes the snapshot file first, then the manifest, both
-    through {!Heron_util.Atomic_io} (tmp + rename) — a crash at any instant
-    leaves either the previous published state or the new one, never a torn
-    or regressed library. Startup loads the manifest's snapshot after
-    verifying its checksum; an unreadable or lying manifest falls back to
-    scanning the snapshot files in descending version order and taking the
-    newest one that parses. *)
+    Publishing writes the snapshot file, then a [.sum] checksum sidecar,
+    then the manifest — all three through {!Heron_util.Atomic_io} (tmp +
+    rename) with [~fsync:true] and bounded retry on transient errors — so a
+    crash at any syscall boundary leaves either the previous published
+    state or the new one, never a torn or regressed library, even across
+    power loss. Startup loads the manifest's snapshot after verifying its
+    checksum; an unreadable or lying manifest falls back to scanning the
+    snapshot files in descending version order and taking the newest one
+    whose sidecar checksum verifies (legacy snapshots without a sidecar
+    are accepted only when they parse warning-free). *)
 
 module Library = Heron.Library
 
@@ -43,5 +46,8 @@ val versions : t -> int list
 
 val snapshot_path : t -> int -> string
 (** Path of one version's snapshot file (for tests). *)
+
+val sum_path : t -> int -> string
+(** Path of one version's checksum sidecar ([snapshot_path ^ ".sum"]). *)
 
 val manifest_path : t -> string

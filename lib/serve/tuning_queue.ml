@@ -68,7 +68,10 @@ let save t ~path =
                t.pending) );
       ]
   in
-  Atomic_io.write_string ~path (Json.to_string json ^ "\n")
+  (* Durable and retried: the checkpoint is the crash-redo log for accepted
+     work, so a torn or lost checkpoint would drop queued tuning tasks. *)
+  Atomic_io.with_retry ~what:"queue.checkpoint" (fun () ->
+      Atomic_io.write_string ~fsync:true ~path (Json.to_string json ^ "\n"))
 
 let load ~path =
   match In_channel.with_open_bin path In_channel.input_all with

@@ -1,13 +1,128 @@
-let with_file_out ~path f =
+module Obs = Heron_obs.Obs
+
+let c_retries = Obs.Counter.make "io.retries"
+
+let fsync_path path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (err, _, _) ->
+      raise (Sys_error (path ^ ": " ^ Unix.error_message err))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try Unix.fsync fd
+          with Unix.Unix_error (err, _, _) ->
+            raise (Sys_error (path ^ ": " ^ Unix.error_message err)))
+
+(* Directories cannot be fsynced on every platform/filesystem; durability
+   of the rename is best-effort there, so failures are ignored. *)
+let fsync_dir_noerr dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+(* The plain protocol, exactly as it has always been (plus the optional
+   fsync): no injector is consulted, let alone constructed. *)
+let plain_with_file_out ~fsync ~path f =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   match f oc with
   | () ->
+      if fsync then begin
+        flush oc;
+        (try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error (err, _, _) ->
+           close_out_noerr oc;
+           remove_noerr tmp;
+           raise (Sys_error (tmp ^ ": " ^ Unix.error_message err)))
+      end;
       close_out oc;
-      Unix.rename tmp path
+      Unix.rename tmp path;
+      if fsync then fsync_dir_noerr (Filename.dirname path)
   | exception e ->
       close_out_noerr oc;
-      (try Sys.remove tmp with Sys_error _ -> ());
+      remove_noerr tmp;
       raise e
 
-let write_string ~path s = with_file_out ~path (fun oc -> output_string oc s)
+(* The instrumented protocol: the same syscall sequence, with the injector
+   consulted at each boundary — content write, fsync (when requested),
+   rename. A [Crash] raises [Io_faults.Crashed] with exactly the bytes
+   that had persisted by that boundary left on disk; [Fail] mimics the
+   plain error contract (temp file removed, target untouched, Sys_error);
+   [Torn] silently truncates the temp file and lets the rename proceed —
+   the un-fsynced-page-loss failure the checksummed readers must catch. *)
+let injected_with_file_out inj ~fsync ~path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match f oc with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      remove_noerr tmp;
+      raise e);
+  let len = (Unix.stat tmp).Unix.st_size in
+  let crash op site ~keep =
+    if keep < len then Unix.truncate tmp keep;
+    raise (Io_faults.Crashed { path; op; site })
+  in
+  let site inj = Io_faults.sites_seen inj in
+  (match Io_faults.at_site inj ~path ~len ~durable:fsync Io_faults.Write with
+  | Io_faults.Proceed -> ()
+  | Io_faults.Torn k -> if k < len then Unix.truncate tmp k
+  | Io_faults.Fail msg ->
+      remove_noerr tmp;
+      raise (Sys_error msg)
+  | Io_faults.Crash k -> crash Io_faults.Write (site inj - 1) ~keep:k);
+  if fsync then begin
+    match Io_faults.at_site inj ~path ~len ~durable:true Io_faults.Fsync with
+    | Io_faults.Proceed | Io_faults.Torn _ -> fsync_path tmp
+    | Io_faults.Fail msg ->
+        remove_noerr tmp;
+        raise (Sys_error msg)
+    | Io_faults.Crash _ -> crash Io_faults.Fsync (site inj - 1) ~keep:len
+  end;
+  (match Io_faults.at_site inj ~path ~len ~durable:fsync Io_faults.Rename with
+  | Io_faults.Proceed | Io_faults.Torn _ -> Unix.rename tmp path
+  | Io_faults.Fail msg ->
+      remove_noerr tmp;
+      raise (Sys_error msg)
+  | Io_faults.Crash _ -> crash Io_faults.Rename (site inj - 1) ~keep:len);
+  if fsync then fsync_dir_noerr (Filename.dirname path)
+
+let with_file_out ?(fsync = false) ~path f =
+  match Io_faults.default () with
+  | None -> plain_with_file_out ~fsync ~path f
+  | Some inj -> injected_with_file_out inj ~fsync ~path f
+
+let write_string ?fsync ~path s = with_file_out ?fsync ~path (fun oc -> output_string oc s)
+
+(* Bounded retry with exponential backoff for the durability protocols
+   (store publish, checkpoint writes): transient failures surface as
+   [Sys_error] and are worth one more roll; a simulated crash
+   ([Io_faults.Crashed]) is process death and must never be retried. The
+   backoff sleeps are microseconds — enough to model the policy without
+   slowing a test suite. *)
+let with_retry ?(attempts = 3) ~what f =
+  let attempts = max 1 attempts in
+  let rec go n =
+    match f () with
+    | v -> v
+    | exception Sys_error msg ->
+        if n + 1 >= attempts then raise (Sys_error msg)
+        else begin
+          Obs.Counter.incr c_retries;
+          Obs.emit "io_retry"
+            [
+              ("what", Heron_obs.Json.String what);
+              ("attempt", Heron_obs.Json.Int (n + 1));
+              ("error", Heron_obs.Json.String msg);
+            ];
+          Unix.sleepf (50e-6 *. float_of_int (1 lsl n));
+          go (n + 1)
+        end
+  in
+  go 0

@@ -2,13 +2,45 @@
     renamed over [path] only once complete, so a reader never observes a
     truncated file and a killed writer leaves the previous version (or
     nothing) behind — never garbage. Used for benchmark JSON reports,
-    search checkpoints and the observability journal. *)
+    search checkpoints, the observability journal, library saves and the
+    serve store.
 
-val write_string : path:string -> string -> unit
+    {2 Durability contract}
+
+    By default the protocol is {e atomic but not durable}: after a
+    successful return the new content is visible to every subsequent
+    reader, but an OS crash (power loss) before the kernel flushes its
+    caches may tear or lose it. With [~fsync:true] the temp file is
+    fsynced before the rename and the parent directory after it
+    (best-effort on the directory), so a returned write additionally
+    survives power loss untorn. The serve store's manifests/snapshots and
+    the tuning-queue checkpoints write with [~fsync:true]; hot-loop
+    artifacts (search checkpoints, traces, bench reports) stay
+    non-durable, where the deterministic torn-write injection of
+    {!Io_faults} can exercise the readers' checksum/recovery paths.
+
+    When a process-default {!Io_faults} injector is installed, every write
+    consults it at each syscall boundary (write, fsync, rename); with no
+    injector (the default) nothing is constructed or consulted and the
+    protocol is byte-identical to the uninstrumented one. *)
+
+val write_string : ?fsync:bool -> path:string -> string -> unit
 (** [write_string ~path s] atomically replaces the contents of [path]
-    with [s] (write to [path ^ ".tmp"], flush, rename). *)
+    with [s] (write to [path ^ ".tmp"], flush, rename). [~fsync:true]
+    additionally makes the replacement durable before returning. *)
 
-val with_file_out : path:string -> (out_channel -> unit) -> unit
+val with_file_out : ?fsync:bool -> path:string -> (out_channel -> unit) -> unit
 (** [with_file_out ~path f] hands [f] a channel on [path ^ ".tmp"] and
-    renames over [path] when [f] returns. On exception the temp file is
-    removed and [path] is untouched. *)
+    renames over [path] when [f] returns. On exception — from [f], from a
+    real I/O error, or from an injected fault — the temp file is removed
+    and [path] is untouched, except for {!Io_faults.Crashed}, which leaves
+    disk exactly as the simulated death would. *)
+
+val with_retry : ?attempts:int -> what:string -> (unit -> 'a) -> 'a
+(** [with_retry ~what f] runs [f], retrying a [Sys_error] (transient
+    ENOSPC/EIO, injected or real) up to [attempts] times total (default 3)
+    with exponential microsecond backoff, counting [io.retries] and
+    emitting an [io_retry] journal event per retry. The last error is
+    re-raised when attempts are exhausted. {!Io_faults.Crashed} is never
+    caught: a simulated process death terminates the protocol like a real
+    one would. *)

@@ -151,6 +151,40 @@ let test_library_build () =
       Alcotest.(check bool) "positive latency" true (e.Library.latency_us > 0.0))
     (Library.entries lib)
 
+(* Regression: Library.save must go through the Atomic_io tmp+rename
+   protocol. The old implementation opened the target directly, so a
+   process death mid-save left a torn library in place; a crash at the
+   very first write site must instead leave the previous file intact. *)
+let test_library_save_atomic () =
+  let module Io_faults = Heron_util.Io_faults in
+  let op = Op.gemm ~m:256 ~n:256 ~k:256 () in
+  let _, prog = sample D.v100 op 11 in
+  let a = prog.Concrete.assignment in
+  let lib1 = Library.add Library.empty D.v100 op ~latency_us:100.0 a in
+  let lib2 =
+    Library.add lib1 D.v100 (Op.gemm ~m:512 ~n:256 ~k:128 ()) ~latency_us:77.0 a
+  in
+  let path = Filename.temp_file "heron_lib_atomic" ".txt" in
+  Library.save lib1 path;
+  let read_all p = In_channel.with_open_bin p In_channel.input_all in
+  let before = read_all path in
+  Io_faults.set_default
+    (Some (Io_faults.create { Io_faults.zero with crash_at = Some 0 }));
+  Fun.protect ~finally:(fun () ->
+      Io_faults.set_default None;
+      Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+  @@ fun () ->
+  (match Library.save lib2 path with
+  | () -> Alcotest.fail "save must die at the injected crash point"
+  | exception Io_faults.Crashed _ -> ());
+  Alcotest.(check string) "previous library intact after mid-save crash" before
+    (read_all path);
+  (* And with the injector cleared the interrupted save simply reruns. *)
+  Io_faults.set_default None;
+  Library.save lib2 path;
+  Alcotest.(check int) "rerun save lands" 2 (Library.size (Library.load path))
+
 let test_library_key_distinguishes () =
   let k1 = Library.op_key (Op.gemm ~m:256 ~n:256 ~k:256 ()) in
   let k2 = Library.op_key (Op.gemm ~m:256 ~n:256 ~k:512 ()) in
@@ -171,5 +205,6 @@ let suite =
     Alcotest.test_case "library roundtrip" `Quick test_library_roundtrip;
     Alcotest.test_case "library keeps best" `Quick test_library_keeps_best;
     Alcotest.test_case "library build" `Quick test_library_build;
+    Alcotest.test_case "library save atomic" `Quick test_library_save_atomic;
     Alcotest.test_case "library op keys" `Quick test_library_key_distinguishes;
   ]

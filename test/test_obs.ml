@@ -429,6 +429,43 @@ let test_cache_cap_default_never_evicts () =
   in
   Alcotest.(check (list int)) "no evictions at default cap" [ 0 ] evictions
 
+(* A failed journal write — here injected via the same hook that
+   Io_faults.set_default installs — drops that one event and counts it;
+   the run continues and the surviving journal still validates. *)
+let test_journal_write_fault_drops_event () =
+  let drop_next = ref false in
+  Obs.set_journal_write_fault
+    (Some
+       (fun ~path:_ ~seq:_ ->
+         if !drop_next then begin
+           drop_next := false;
+           true
+         end
+         else false));
+  Fun.protect ~finally:(fun () -> Obs.set_journal_write_fault None) @@ fun () ->
+  let ((), deltas), events =
+    with_journal (fun () ->
+        counter_delta [ "obs.journal_write_failures" ] (fun () ->
+            Obs.emit "gauge" [ ("name", Json.String "keep_a"); ("value", Json.Float 1.0) ];
+            drop_next := true;
+            Obs.emit "gauge" [ ("name", Json.String "dropped"); ("value", Json.Float 2.0) ];
+            Obs.emit "gauge" [ ("name", Json.String "keep_b"); ("value", Json.Float 3.0) ]))
+  in
+  Alcotest.(check (list int)) "one failure counted" [ 1 ] deltas;
+  Alcotest.(check bool) "hook consumed" false !drop_next;
+  check_valid events;
+  let gauge_names =
+    List.filter_map
+      (fun e ->
+        if e.Trace.ev = "gauge" then
+          Option.bind (Trace.field "name" e) Json.to_string_opt
+        else None)
+      events
+  in
+  Alcotest.(check bool) "events around the drop survive" true
+    (List.mem "keep_a" gauge_names && List.mem "keep_b" gauge_names);
+  Alcotest.(check bool) "the faulted event is gone" false (List.mem "dropped" gauge_names)
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -451,4 +488,6 @@ let suite =
     Alcotest.test_case "counters jobs-independent" `Quick test_counters_jobs_independent;
     Alcotest.test_case "cache cap holds with evictions" `Quick test_cache_cap_holds;
     Alcotest.test_case "default cap never evicts" `Quick test_cache_cap_default_never_evicts;
+    Alcotest.test_case "journal write fault drops one event" `Quick
+      test_journal_write_fault_drops_event;
   ]

@@ -292,6 +292,94 @@ let test_kill_resume_identical () =
      not the version counter, is the identity contract. *)
   Alcotest.(check bool) "crashed run republished" true (Daemon.version b' >= Daemon.version a)
 
+(* ---------- store checksum sidecars + degraded read-only mode ---------- *)
+
+module Store = Heron_serving.Store
+module Io_faults = Heron_util.Io_faults
+
+(* Every publish leaves a [.sum] sidecar next to the snapshot; a snapshot
+   whose body no longer matches it is rejected by recovery, which then
+   settles on the newest version that still verifies. *)
+let test_store_sum_sidecar () =
+  in_dir "sum" @@ fun dir ->
+  let op = Op.gemm ~m:16 ~n:16 ~k:16 () in
+  let lib1 = Library.add Library.empty desc op ~latency_us:10.0 Assignment.empty in
+  let lib2 = Library.add lib1 desc (Op.gemm ~m:32 ~n:32 ~k:32 ()) ~latency_us:20.0 Assignment.empty in
+  let store = Store.open_ ~dir in
+  let v1 = Store.publish store lib1 in
+  let v2 = Store.publish store lib2 in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "v%d sidecar exists" v)
+        true
+        (Sys.file_exists (Store.sum_path store v)))
+    [ v1; v2 ];
+  (* Corrupt v2's body without updating the sidecar: recovery must reject
+     it and settle on v1, flagging the recovery. *)
+  let snap2 = Store.snapshot_path store v2 in
+  let body = In_channel.with_open_bin snap2 In_channel.input_all in
+  Out_channel.with_open_bin snap2 (fun oc ->
+      Out_channel.output_string oc (String.map (function '0' -> '9' | c -> c) body));
+  match Store.load_latest store with
+  | None -> Alcotest.fail "v1 must still be loadable"
+  | Some loaded ->
+      Alcotest.(check int) "fell back to the previous version" v1 loaded.Store.version;
+      Alcotest.(check bool) "flagged as recovered" true loaded.Store.recovered;
+      Alcotest.(check int) "no skipped lines" 0 (List.length loaded.Store.warnings);
+      Alcotest.(check string) "previous content intact" (Library.to_string lib1)
+        (Library.to_string loaded.Store.library)
+
+(* A full disk (persistent ENOSPC on every path) flips the daemon into
+   read-only serving: tuned results go live in memory, nothing lands on
+   disk, and the first pump after space returns republishes and retires
+   the queued batch. *)
+let test_daemon_degraded_readonly () =
+  in_dir "degraded" @@ fun dir ->
+  let universe = [ Op.gemm ~m:16 ~n:16 ~k:16 (); Op.gemm ~m:32 ~n:32 ~k:32 () ] in
+  let config =
+    {
+      (Daemon.default_config ~dir ~resolve:(Daemon.universe_resolve universe) desc) with
+      Daemon.budget = 6;
+      seed = 11;
+      family_max = 2;
+    }
+  in
+  Io_faults.set_default
+    (Some (Io_faults.create { Io_faults.zero with persistent = 1.0 }));
+  let daemon =
+    Fun.protect ~finally:(fun () -> Io_faults.set_default None) @@ fun () ->
+    let daemon = Daemon.start config in
+    List.iter (fun op -> ignore (Daemon.lookup_op daemon op)) universe;
+    let tuned = Daemon.drain daemon in
+    Alcotest.(check bool) "tasks were tuned before the failed publish" true (tuned > 0);
+    Alcotest.(check bool) "daemon went read-only" true (Daemon.read_only daemon);
+    Alcotest.(check int) "nothing durably published" 0 (Daemon.version daemon);
+    Alcotest.(check bool) "results live in memory" true
+      (Library.size (Daemon.library daemon) > 0);
+    Alcotest.(check bool) "queue keeps the unflushed batch" true
+      (Daemon.queue_length daemon > 0);
+    Alcotest.(check bool) "no manifest on the full disk" false
+      (Sys.file_exists (Filename.concat dir "MANIFEST.json"));
+    (* Traffic is still answered from the in-memory index. *)
+    (match (Daemon.lookup_op daemon (List.hd universe)).Daemon.s_outcome with
+    | Index.Hit _ -> ()
+    | _ -> Alcotest.fail "read-only daemon must still serve hits");
+    daemon
+  in
+  (* Space returns: the next pump retries the pending publish before
+     tuning anything. *)
+  let tuned = Daemon.pump daemon ~max_tasks:0 in
+  Alcotest.(check int) "no tuning needed to recover" 0 tuned;
+  Alcotest.(check bool) "read-only cleared" false (Daemon.read_only daemon);
+  Alcotest.(check bool) "publish landed" true (Daemon.version daemon > 0);
+  Alcotest.(check int) "queued batch retired" 0 (Daemon.queue_length daemon);
+  (* A process restart sees exactly the in-memory state that was serving. *)
+  let daemon' = Daemon.start config in
+  Alcotest.(check string) "restart sees the recovered library"
+    (Library.to_string (Daemon.library daemon))
+    (Library.to_string (Daemon.library daemon'))
+
 let suite =
   [
     Alcotest.test_case "library: lenient load skips malformed lines" `Quick test_load_lenient;
@@ -306,4 +394,8 @@ let suite =
       test_daemon_jobs_independent;
     Alcotest.test_case "daemon: kill after publish + resume is byte-identical" `Slow
       test_kill_resume_identical;
+    Alcotest.test_case "store: checksum sidecar rejects corrupt snapshots" `Quick
+      test_store_sum_sidecar;
+    Alcotest.test_case "daemon: full disk degrades to read-only, then recovers" `Quick
+      test_daemon_degraded_readonly;
   ]

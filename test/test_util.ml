@@ -210,6 +210,122 @@ let test_atomic_write () =
       Alcotest.(check string) "old content preserved" "first" (read_file path);
       Alcotest.(check bool) "tmp cleaned up" false (Sys.file_exists (path ^ ".tmp")))
 
+let test_atomic_write_fsync () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "durable.json" in
+      Heron_util.Atomic_io.write_string ~fsync:true ~path "durable content";
+      Alcotest.(check string) "content lands" "durable content" (read_file path);
+      Alcotest.(check bool) "no tmp left" false (Sys.file_exists (path ^ ".tmp")))
+
+module Io_faults = Heron_util.Io_faults
+
+let with_injector spec f =
+  Io_faults.set_default (Some (Io_faults.create spec));
+  Fun.protect ~finally:(fun () -> Io_faults.set_default None) f
+
+let test_io_faults_parse () =
+  (match Io_faults.parse "off" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "off must parse to no spec");
+  (match Io_faults.parse "record" with
+  | Ok (Some s) -> Alcotest.(check bool) "record flag" true s.Io_faults.record
+  | _ -> Alcotest.fail "record must parse");
+  (match Io_faults.parse "crash_at=7" with
+  | Ok (Some s) -> Alcotest.(check (option int)) "crash point" (Some 7) s.Io_faults.crash_at
+  | _ -> Alcotest.fail "crash_at must parse");
+  (match Io_faults.parse "seed=3,enospc=0.1,torn=0.25" with
+  | Ok (Some s) ->
+      Alcotest.(check int) "seed" 3 s.Io_faults.seed;
+      Alcotest.(check (float 1e-9)) "enospc" 0.1 s.Io_faults.enospc;
+      Alcotest.(check (float 1e-9)) "torn" 0.25 s.Io_faults.torn;
+      (* Canonical rendering round-trips. *)
+      (match Io_faults.parse (Io_faults.to_string s) with
+      | Ok (Some s') -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | _ -> Alcotest.fail "to_string must parse back")
+  | _ -> Alcotest.fail "rate spec must parse");
+  (match Io_faults.parse "enospc=1.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range rate must be rejected");
+  match Io_faults.parse "bogus=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key must be rejected"
+
+(* The same spec over the same write history makes the same decisions —
+   and a torn fault never hits a durable (fsynced) write. *)
+let test_io_faults_deterministic_and_fsync_immune () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "victim.txt" in
+      let spec = { Io_faults.zero with seed = 5; enospc = 1.0 } in
+      let outcome () =
+        with_injector spec (fun () ->
+            match Heron_util.Atomic_io.write_string ~path "payload" with
+            | () -> "ok"
+            | exception Sys_error msg -> "fail: " ^ msg)
+      in
+      let a = outcome () and b = outcome () in
+      Alcotest.(check string) "same spec, same history, same fate" a b;
+      Alcotest.(check bool) "enospc=1.0 always fails" true
+        (String.length a >= 5 && String.sub a 0 5 = "fail:");
+      (* Non-durable writes can tear (the surviving prefix is hash-chosen,
+         so over several paths some must come up short); fsynced writes
+         are immune at every path. *)
+      let torn = { Io_faults.zero with seed = 5; torn = 1.0 } in
+      let content = String.init 64 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+      let paths = List.init 8 (fun i -> Filename.concat dir (Printf.sprintf "t%d" i)) in
+      with_injector torn (fun () ->
+          List.iter (fun p -> Heron_util.Atomic_io.write_string ~path:p content) paths);
+      let lens = List.map (fun p -> String.length (read_file p)) paths in
+      Alcotest.(check bool) "torn writes keep prefixes" true
+        (List.for_all (fun l -> l <= 64) lens);
+      Alcotest.(check bool) "some non-durable write actually tore" true
+        (List.exists (fun l -> l < 64) lens);
+      with_injector torn (fun () ->
+          List.iter
+            (fun p -> Heron_util.Atomic_io.write_string ~fsync:true ~path:p content)
+            paths);
+      Alcotest.(check bool) "durable writes immune to torn faults" true
+        (List.for_all (fun p -> read_file p = content) paths))
+
+let test_io_faults_record_counts_sites () =
+  in_temp_dir (fun dir ->
+      let inj = Io_faults.create { Io_faults.zero with record = true } in
+      Io_faults.set_default (Some inj);
+      Fun.protect ~finally:(fun () -> Io_faults.set_default None) (fun () ->
+          (* write + rename: 2 sites; with fsync a third. *)
+          Heron_util.Atomic_io.write_string ~path:(Filename.concat dir "a") "x";
+          Alcotest.(check int) "plain write = 2 sites" 2 (Io_faults.sites_seen inj);
+          Heron_util.Atomic_io.write_string ~fsync:true ~path:(Filename.concat dir "b") "x";
+          Alcotest.(check int) "durable write adds 3 sites" 5 (Io_faults.sites_seen inj)))
+
+let test_with_retry () =
+  (* A transient failure is retried; the third attempt succeeds. *)
+  let calls = ref 0 in
+  let v =
+    Heron_util.Atomic_io.with_retry ~attempts:3 ~what:"test" (fun () ->
+        incr calls;
+        if !calls < 3 then raise (Sys_error "transient (injected)");
+        !calls)
+  in
+  Alcotest.(check int) "succeeds on the last attempt" 3 v;
+  (* Attempts exhausted: the last error propagates. *)
+  let calls = ref 0 in
+  (match
+     Heron_util.Atomic_io.with_retry ~attempts:2 ~what:"test" (fun () ->
+         incr calls;
+         raise (Sys_error "still failing"))
+   with
+  | _ -> Alcotest.fail "exhausted retry must raise"
+  | exception Sys_error _ -> Alcotest.(check int) "bounded attempts" 2 !calls);
+  (* A simulated process death is never retried. *)
+  let calls = ref 0 in
+  match
+    Heron_util.Atomic_io.with_retry ~attempts:3 ~what:"test" (fun () ->
+        incr calls;
+        raise (Io_faults.Crashed { path = "p"; op = Io_faults.Write; site = 0 }))
+  with
+  | _ -> Alcotest.fail "crash must propagate"
+  | exception Io_faults.Crashed _ -> Alcotest.(check int) "no retry on crash" 1 !calls
+
 (* Replay.to_alcotest derives each property's generator state from one
    campaign seed plus the property name and prints the replay commands on
    failure; QCHECK_SEED overrides the seed. *)
@@ -241,4 +357,10 @@ let suite =
     Alcotest.test_case "hash ranges" `Quick test_hash_ranges;
     Alcotest.test_case "rng state hex roundtrip" `Quick test_rng_state_hex_roundtrip;
     Alcotest.test_case "atomic write" `Quick test_atomic_write;
+    Alcotest.test_case "atomic write fsync" `Quick test_atomic_write_fsync;
+    Alcotest.test_case "io-faults spec parse" `Quick test_io_faults_parse;
+    Alcotest.test_case "io-faults deterministic, fsync torn-immune" `Quick
+      test_io_faults_deterministic_and_fsync_immune;
+    Alcotest.test_case "io-faults record counts sites" `Quick test_io_faults_record_counts_sites;
+    Alcotest.test_case "with_retry policy" `Quick test_with_retry;
   ]
